@@ -1,0 +1,134 @@
+//! Criterion wrappers: one bench group per figure, running a scaled-down
+//! slice of each experiment on the spin-mode (busy-wait) emulator — the
+//! same technique the paper's testbed used. The full deterministic
+//! experiments live in the `experiments` binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nvmm::{CostModel, TimeMode};
+use workloads::filebench::{FilebenchParams, Fileserver, Varmail};
+use workloads::fileset::{Fileset, FilesetSpec};
+use workloads::runner::{RunLimit, Runner};
+use workloads::setups::{build, SystemConfig, SystemKind};
+
+fn spin_config() -> SystemConfig {
+    SystemConfig {
+        device_bytes: 64 << 20,
+        mode: TimeMode::Spin,
+        buffer_bytes: 4 << 20,
+        cache_pages: 1024,
+        journal_blocks: 256,
+        inode_count: 8192,
+        cost: CostModel {
+            // Scaled-down delays keep the busy-wait benches fast while
+            // preserving the write/read asymmetry.
+            nvmm_write_latency_ns: 200,
+            ..CostModel::default()
+        },
+    }
+}
+
+fn bench_personality(c: &mut Criterion, group: &str, kinds: &[SystemKind], varmail: bool) {
+    let mut g = c.benchmark_group(group);
+    g.sample_size(10);
+    for &kind in kinds {
+        let sys = build(kind, &spin_config()).expect("build");
+        let set = Fileset::populate(&*sys.fs, FilesetSpec::new("/data", 48, 10, 16 << 10), 1)
+            .expect("populate");
+        let params = FilebenchParams {
+            iosize: 64 << 10,
+            append_size: 4 << 10,
+        };
+        let runner = Runner::new(sys.env.clone(), sys.fs.clone());
+        g.bench_function(kind.label(), |b| {
+            b.iter(|| {
+                let actors: Vec<Box<dyn workloads::Actor>> = if varmail {
+                    vec![Box::new(Varmail::new(set.clone(), params))]
+                } else {
+                    vec![Box::new(Fileserver::new(set.clone(), params))]
+                };
+                runner.run(actors, RunLimit::steps(5), 3)
+            })
+        });
+        sys.fs.unmount().expect("unmount");
+    }
+    g.finish();
+}
+
+/// Fig 7 headline: fileserver loops across the five systems.
+fn fig07_overall(c: &mut Criterion) {
+    bench_personality(c, "fig07_fileserver_loops", &SystemKind::FIG7, false);
+}
+
+/// Varmail (eager-persistent writes): HiNFS must not lose to PMFS.
+fn fig07_varmail(c: &mut Criterion) {
+    bench_personality(
+        c,
+        "fig07_varmail_loops",
+        &[SystemKind::Pmfs, SystemKind::Hinfs, SystemKind::HinfsWb],
+        true,
+    );
+}
+
+/// Fig 9 ablation: CLFW vs NCLFW on small unaligned writes.
+fn fig09_clfw(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig09_small_writes");
+    g.sample_size(10);
+    for kind in [SystemKind::Hinfs, SystemKind::HinfsNclfw, SystemKind::Pmfs] {
+        let sys = build(kind, &spin_config()).expect("build");
+        let fd = sys
+            .fs
+            .open("/small", fskit::OpenFlags::RDWR | fskit::OpenFlags::CREATE)
+            .expect("open");
+        sys.fs.write(fd, 0, &vec![0u8; 1 << 20]).expect("prime");
+        sys.fs.fsync(fd).expect("fsync");
+        let mut off = 0u64;
+        g.bench_function(kind.label(), |b| {
+            b.iter(|| {
+                off = (off + 100) % ((1 << 20) - 200);
+                sys.fs.write(fd, off, &[7u8; 100]).expect("write");
+            })
+        });
+        sys.fs.fsync(fd).expect("fsync");
+        sys.fs.close(fd).expect("close");
+        sys.fs.unmount().expect("unmount");
+    }
+    g.finish();
+}
+
+/// Fig 11 flavor: a durable (fsync'd) append at two NVMM latencies.
+fn fig11_latency(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11_sync_append");
+    g.sample_size(10);
+    for lat in [50u64, 800] {
+        let mut cfg = spin_config();
+        cfg.cost = cfg.cost.with_write_latency(lat);
+        let sys = build(SystemKind::Hinfs, &cfg).expect("build");
+        let fd = sys
+            .fs
+            .open("/wal", fskit::OpenFlags::RDWR | fskit::OpenFlags::CREATE)
+            .expect("open");
+        g.bench_function(format!("hinfs-{lat}ns"), |b| {
+            b.iter(|| {
+                // Rotate like a real WAL so millions of Criterion
+                // iterations cannot fill the device.
+                if sys.fs.fstat(fd).expect("fstat").size > 1 << 20 {
+                    sys.fs.truncate(fd, 0).expect("rotate");
+                }
+                sys.fs.append(fd, &[1u8; 256]).expect("append");
+                sys.fs.fsync(fd).expect("fsync");
+            })
+        });
+        sys.fs.close(fd).expect("close");
+        sys.fs.unmount().expect("unmount");
+    }
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    fig07_overall,
+    fig07_varmail,
+    fig09_clfw,
+    fig11_latency
+);
+criterion_main!(figures);

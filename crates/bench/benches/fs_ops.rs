@@ -1,0 +1,105 @@
+//! Micro-benchmarks of single file system operations across the systems,
+//! in spin mode (real busy-wait delays, like the paper's emulator).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fskit::OpenFlags;
+use nvmm::TimeMode;
+use workloads::setups::{build, SystemConfig, SystemKind};
+
+fn cfg() -> SystemConfig {
+    SystemConfig {
+        device_bytes: 64 << 20,
+        mode: TimeMode::Spin,
+        buffer_bytes: 8 << 20,
+        cache_pages: 2048,
+        journal_blocks: 256,
+        inode_count: 8192,
+        ..SystemConfig::default()
+    }
+}
+
+fn write_4k(c: &mut Criterion) {
+    let mut g = c.benchmark_group("write_4k");
+    g.sample_size(20);
+    for kind in [
+        SystemKind::Pmfs,
+        SystemKind::Hinfs,
+        SystemKind::Ext4Bd,
+        SystemKind::Ext4Dax,
+    ] {
+        let sys = build(kind, &cfg()).expect("build");
+        let fd = sys
+            .fs
+            .open("/f", OpenFlags::RDWR | OpenFlags::CREATE)
+            .expect("open");
+        let data = vec![0xabu8; 4096];
+        let mut i = 0u64;
+        g.bench_function(kind.label(), |b| {
+            b.iter(|| {
+                // Rotate over 1024 blocks to exercise allocation + reuse.
+                sys.fs.write(fd, (i % 1024) * 4096, &data).expect("write");
+                i += 1;
+            })
+        });
+        sys.fs.close(fd).expect("close");
+        sys.fs.unmount().expect("unmount");
+    }
+    g.finish();
+}
+
+fn read_4k(c: &mut Criterion) {
+    let mut g = c.benchmark_group("read_4k");
+    g.sample_size(20);
+    for kind in [
+        SystemKind::Pmfs,
+        SystemKind::Hinfs,
+        SystemKind::Ext4Bd,
+        SystemKind::Ext4Dax,
+    ] {
+        let sys = build(kind, &cfg()).expect("build");
+        let fd = sys
+            .fs
+            .open("/f", OpenFlags::RDWR | OpenFlags::CREATE)
+            .expect("open");
+        sys.fs.write(fd, 0, &vec![1u8; 4 << 20]).expect("prime");
+        sys.fs.fsync(fd).expect("fsync");
+        let mut buf = vec![0u8; 4096];
+        let mut i = 0u64;
+        g.bench_function(kind.label(), |b| {
+            b.iter(|| {
+                sys.fs.read(fd, (i % 1024) * 4096, &mut buf).expect("read");
+                i += 1;
+            })
+        });
+        sys.fs.close(fd).expect("close");
+        sys.fs.unmount().expect("unmount");
+    }
+    g.finish();
+}
+
+fn create_unlink(c: &mut Criterion) {
+    let mut g = c.benchmark_group("create_unlink");
+    g.sample_size(20);
+    for kind in [SystemKind::Pmfs, SystemKind::Hinfs, SystemKind::Ext4Bd] {
+        let sys = build(kind, &cfg()).expect("build");
+        let mut i = 0u64;
+        g.bench_function(kind.label(), |b| {
+            b.iter(|| {
+                let path = format!("/t{i}");
+                let fd = sys
+                    .fs
+                    .open(&path, OpenFlags::RDWR | OpenFlags::CREATE)
+                    .expect("create");
+                sys.fs.write(fd, 0, &[9u8; 1024]).expect("write");
+                sys.fs.close(fd).expect("close");
+                sys.fs.unlink(&path).expect("unlink");
+                i += 1;
+            })
+        });
+        sys.fs.unmount().expect("unmount");
+    }
+    g.finish();
+}
+
+criterion_group!(fs_ops, write_4k, read_4k, create_unlink);
+criterion_main!(fs_ops);

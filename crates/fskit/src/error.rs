@@ -1,0 +1,86 @@
+//! The common error type of every file system in the workspace.
+
+use std::fmt;
+
+/// Result alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, FsError>;
+
+/// Errors a file system call can return.
+///
+/// Modeled on the POSIX errno values the paper's workloads would see.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsError {
+    /// A path component does not exist (`ENOENT`).
+    NotFound,
+    /// The target already exists (`EEXIST`).
+    AlreadyExists,
+    /// A non-final path component is not a directory (`ENOTDIR`).
+    NotADirectory,
+    /// The operation needs a regular file but found a directory (`EISDIR`).
+    IsADirectory,
+    /// Directory removal on a non-empty directory (`ENOTEMPTY`).
+    DirectoryNotEmpty,
+    /// The device ran out of data blocks (`ENOSPC`).
+    NoSpace,
+    /// The inode table is full (`ENOSPC` flavour).
+    NoInodes,
+    /// The journal ran out of space and could not be freed.
+    JournalFull,
+    /// An argument is invalid (`EINVAL`).
+    InvalidArgument(&'static str),
+    /// The file descriptor is not open (`EBADF`).
+    BadFd,
+    /// Write beyond the maximum supported file size (`EFBIG`).
+    FileTooLarge,
+    /// A name component exceeds the limit (`ENAMETOOLONG`).
+    NameTooLong,
+    /// The file or file system is read-only (`EROFS`/`EBADF`).
+    ReadOnly,
+    /// The file system does not support this operation.
+    Unsupported,
+    /// On-media state failed a validity check.
+    Corrupted(&'static str),
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsError::NotFound => write!(f, "no such file or directory"),
+            FsError::AlreadyExists => write!(f, "file exists"),
+            FsError::NotADirectory => write!(f, "not a directory"),
+            FsError::IsADirectory => write!(f, "is a directory"),
+            FsError::DirectoryNotEmpty => write!(f, "directory not empty"),
+            FsError::NoSpace => write!(f, "no space left on device"),
+            FsError::NoInodes => write!(f, "no free inodes"),
+            FsError::JournalFull => write!(f, "journal full"),
+            FsError::InvalidArgument(what) => write!(f, "invalid argument: {what}"),
+            FsError::BadFd => write!(f, "bad file descriptor"),
+            FsError::FileTooLarge => write!(f, "file too large"),
+            FsError::NameTooLong => write!(f, "file name too long"),
+            FsError::ReadOnly => write!(f, "read-only"),
+            FsError::Unsupported => write!(f, "operation not supported"),
+            FsError::Corrupted(what) => write!(f, "corrupted on-media state: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for FsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(FsError::NotFound.to_string(), "no such file or directory");
+        assert!(FsError::Corrupted("superblock magic")
+            .to_string()
+            .contains("superblock magic"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(FsError::NoSpace, FsError::NoSpace);
+        assert_ne!(FsError::NoSpace, FsError::NoInodes);
+    }
+}

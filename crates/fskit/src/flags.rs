@@ -1,0 +1,82 @@
+//! Open flags, modeled on the POSIX `open(2)` flags the paper's policies
+//! depend on (most importantly `O_SYNC`, which makes every write on the
+//! descriptor an *eager-persistent* write in HiNFS).
+
+use std::ops::BitOr;
+
+/// A set of open flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OpenFlags(u32);
+
+impl OpenFlags {
+    /// Open for reading.
+    pub const READ: OpenFlags = OpenFlags(1 << 0);
+    /// Open for writing.
+    pub const WRITE: OpenFlags = OpenFlags(1 << 1);
+    /// Create the file if it does not exist.
+    pub const CREATE: OpenFlags = OpenFlags(1 << 2);
+    /// Truncate to zero length on open.
+    pub const TRUNC: OpenFlags = OpenFlags(1 << 3);
+    /// All writes append to the end of the file.
+    pub const APPEND: OpenFlags = OpenFlags(1 << 4);
+    /// Fail if `CREATE` and the file exists.
+    pub const EXCL: OpenFlags = OpenFlags(1 << 5);
+    /// Every write is synchronous (`O_SYNC`): in HiNFS these are
+    /// eager-persistent writes, case (1) of §3.3.2.
+    pub const SYNC: OpenFlags = OpenFlags(1 << 6);
+
+    /// Open for reading and writing.
+    pub const RDWR: OpenFlags = OpenFlags(Self::READ.0 | Self::WRITE.0);
+
+    /// The empty flag set.
+    pub fn empty() -> OpenFlags {
+        OpenFlags(0)
+    }
+
+    /// Whether every flag in `other` is set in `self`.
+    pub fn contains(self, other: OpenFlags) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Whether the descriptor permits reads.
+    pub fn readable(self) -> bool {
+        self.contains(Self::READ)
+    }
+
+    /// Whether the descriptor permits writes.
+    pub fn writable(self) -> bool {
+        self.contains(Self::WRITE)
+    }
+}
+
+impl BitOr for OpenFlags {
+    type Output = OpenFlags;
+
+    fn bitor(self, rhs: OpenFlags) -> OpenFlags {
+        OpenFlags(self.0 | rhs.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_and_contains() {
+        let f = OpenFlags::RDWR | OpenFlags::CREATE | OpenFlags::SYNC;
+        assert!(f.contains(OpenFlags::READ));
+        assert!(f.contains(OpenFlags::WRITE));
+        assert!(f.contains(OpenFlags::SYNC));
+        assert!(!f.contains(OpenFlags::APPEND));
+        assert!(f.readable() && f.writable());
+    }
+
+    #[test]
+    fn empty_contains_nothing_but_empty() {
+        let e = OpenFlags::empty();
+        assert!(e.contains(OpenFlags::empty()));
+        assert!(!e.contains(OpenFlags::READ));
+        assert!(!e.readable());
+        assert!(!e.writable());
+    }
+}

@@ -1,0 +1,77 @@
+//! Common identifier and metadata types.
+
+/// A file descriptor handed out by a [`crate::FileSystem`].
+pub type Fd = u64;
+
+/// An inode number.
+pub type Ino = u64;
+
+/// The type of a directory entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FileType {
+    /// A regular file.
+    File,
+    /// A directory.
+    Dir,
+}
+
+impl FileType {
+    /// On-media encoding.
+    pub fn as_u8(self) -> u8 {
+        match self {
+            FileType::File => 1,
+            FileType::Dir => 2,
+        }
+    }
+
+    /// Decodes the on-media byte, if valid.
+    pub fn from_u8(v: u8) -> Option<FileType> {
+        match v {
+            1 => Some(FileType::File),
+            2 => Some(FileType::Dir),
+            _ => None,
+        }
+    }
+}
+
+/// File metadata, as returned by `stat`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stat {
+    /// Inode number.
+    pub ino: Ino,
+    /// File type.
+    pub ftype: FileType,
+    /// Size in bytes.
+    pub size: u64,
+    /// Number of data blocks allocated.
+    pub blocks: u64,
+    /// Hard link count.
+    pub nlink: u32,
+    /// Last modification time, simulated nanoseconds.
+    pub mtime_ns: u64,
+}
+
+/// One entry returned by `readdir`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirEntry {
+    /// Entry name (a single path component).
+    pub name: String,
+    /// Inode the entry points at.
+    pub ino: Ino,
+    /// Type of the target.
+    pub ftype: FileType,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filetype_roundtrip() {
+        for t in [FileType::File, FileType::Dir] {
+            assert_eq!(FileType::from_u8(t.as_u8()), Some(t));
+        }
+        assert_eq!(FileType::from_u8(0), None);
+        assert_eq!(FileType::from_u8(3), None);
+    }
+}

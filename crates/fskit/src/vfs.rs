@@ -1,0 +1,110 @@
+//! The virtual file system interface.
+//!
+//! [`FileSystem`] is the syscall surface the paper's workloads exercise:
+//! `open`/`close`, positional `read`/`write`, `append`, `fsync`, namespace
+//! operations, and direct memory-mapped I/O for the NVMM-aware file
+//! systems. Implementations charge their own model costs (including the
+//! fixed per-call "syscall" overhead) so callers simply invoke the methods.
+
+use std::sync::Arc;
+
+use crate::error::{FsError, Result};
+use crate::flags::OpenFlags;
+use crate::types::{DirEntry, Fd, Stat};
+
+/// A mounted file system instance.
+///
+/// All methods take `&self`; implementations do their own locking, as a
+/// kernel file system would.
+pub trait FileSystem: Send + Sync {
+    /// A short stable name for reports ("pmfs", "hinfs", "ext4-nvmmbd", ...).
+    fn name(&self) -> &'static str;
+
+    /// Opens (and with [`OpenFlags::CREATE`] possibly creates) a file.
+    fn open(&self, path: &str, flags: OpenFlags) -> Result<Fd>;
+
+    /// Closes a descriptor.
+    fn close(&self, fd: Fd) -> Result<()>;
+
+    /// Reads up to `buf.len()` bytes at byte offset `off`. Returns the
+    /// number of bytes read (short at end of file).
+    fn read(&self, fd: Fd, off: u64, buf: &mut [u8]) -> Result<usize>;
+
+    /// Writes `data` at byte offset `off`, extending the file if needed.
+    /// Returns the number of bytes written.
+    fn write(&self, fd: Fd, off: u64, data: &[u8]) -> Result<usize>;
+
+    /// Appends `data` at the end of the file, returning the offset the data
+    /// landed at.
+    fn append(&self, fd: Fd, data: &[u8]) -> Result<u64>;
+
+    /// Makes all data of `fd` durable before returning.
+    fn fsync(&self, fd: Fd) -> Result<()>;
+
+    /// Truncates (or extends with zeroes) the file to `size` bytes.
+    fn truncate(&self, fd: Fd, size: u64) -> Result<()>;
+
+    /// Removes a name; the file is freed when the link count drops to zero.
+    fn unlink(&self, path: &str) -> Result<()>;
+
+    /// Creates a directory.
+    fn mkdir(&self, path: &str) -> Result<()>;
+
+    /// Removes an empty directory.
+    fn rmdir(&self, path: &str) -> Result<()>;
+
+    /// Lists a directory.
+    fn readdir(&self, path: &str) -> Result<Vec<DirEntry>>;
+
+    /// Metadata by path.
+    fn stat(&self, path: &str) -> Result<Stat>;
+
+    /// Metadata by descriptor.
+    fn fstat(&self, fd: Fd) -> Result<Stat>;
+
+    /// Renames `from` to `to` (same-directory and cross-directory).
+    fn rename(&self, from: &str, to: &str) -> Result<()>;
+
+    /// Makes every dirty buffer durable (like `sync(2)`).
+    fn sync(&self) -> Result<()>;
+
+    /// Flushes everything and quiesces background work. The file system
+    /// must be fully durable when this returns (the paper: "HiNFS flushes
+    /// all the DRAM blocks to the NVMM when unmounting").
+    fn unmount(&self) -> Result<()>;
+
+    /// Maps `len` bytes of the file at offset `off` directly into the
+    /// caller's address space. Only the NVMM-aware file systems support
+    /// this (PMFS-style direct mmap).
+    fn mmap(&self, _fd: Fd, _off: u64, _len: usize) -> Result<Arc<dyn MmapHandle>> {
+        Err(FsError::Unsupported)
+    }
+
+    /// Virtual-time hook: gives background machinery (writeback threads,
+    /// journal checkpointing) a chance to run at simulated time `now_ns`.
+    /// Real-thread (spin mode) deployments may ignore it.
+    fn tick(&self, _now_ns: u64) {}
+}
+
+/// A direct memory mapping of file data.
+///
+/// Loads and stores go straight to the mapped NVMM region; stores are *not*
+/// durable until [`MmapHandle::msync`], mirroring CPU-cache semantics.
+pub trait MmapHandle: Send + Sync {
+    /// Length of the mapping in bytes.
+    fn len(&self) -> usize;
+
+    /// Whether the mapping is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Loads bytes at `off` within the mapping.
+    fn load(&self, off: usize, buf: &mut [u8]) -> Result<()>;
+
+    /// Stores bytes at `off` within the mapping (volatile until `msync`).
+    fn store(&self, off: usize, data: &[u8]) -> Result<()>;
+
+    /// Persists the given range of the mapping.
+    fn msync(&self, off: usize, len: usize) -> Result<()>;
+}

@@ -1,0 +1,501 @@
+//! The DRAM Block Index: a per-file B-tree in DRAM (paper §3.2, Fig 5).
+//!
+//! Keys are file block numbers (logical offsets aligned to the block size),
+//! values are buffer-pool slot numbers. The paper keeps the whole structure
+//! in DRAM "to enable fast index operations" and reuses PMFS's B-tree code;
+//! here it is a textbook in-memory B-tree, generic over the value type so
+//! the ghost buffer can reuse it.
+
+/// Minimum degree: nodes hold `B-1 ..= 2B-1` keys (root may hold fewer).
+const B: usize = 8;
+const MAX_KEYS: usize = 2 * B - 1;
+
+#[derive(Debug, Clone)]
+struct Node<V> {
+    keys: Vec<u64>,
+    vals: Vec<V>,
+    /// Empty for leaves; otherwise `keys.len() + 1` children.
+    children: Vec<Box<Node<V>>>,
+}
+
+impl<V> Node<V> {
+    fn leaf() -> Self {
+        Node {
+            keys: Vec::new(),
+            vals: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    fn is_leaf(&self) -> bool {
+        self.children.is_empty()
+    }
+
+    fn is_full(&self) -> bool {
+        self.keys.len() == MAX_KEYS
+    }
+}
+
+/// An in-DRAM B-tree from file block number to `V`.
+#[derive(Debug, Clone)]
+pub struct BTreeIndex<V> {
+    root: Option<Box<Node<V>>>,
+    len: usize,
+}
+
+impl<V> Default for BTreeIndex<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> BTreeIndex<V> {
+    /// An empty index.
+    pub fn new() -> Self {
+        BTreeIndex { root: None, len: 0 }
+    }
+
+    /// Number of mapped blocks.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Looks up the value for `key`.
+    pub fn get(&self, key: u64) -> Option<&V> {
+        let mut node = self.root.as_deref()?;
+        loop {
+            match node.keys.binary_search(&key) {
+                Ok(i) => return Some(&node.vals[i]),
+                Err(i) => {
+                    if node.is_leaf() {
+                        return None;
+                    }
+                    node = &node.children[i];
+                }
+            }
+        }
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, key: u64) -> Option<&mut V> {
+        let mut node = self.root.as_deref_mut()?;
+        loop {
+            match node.keys.binary_search(&key) {
+                Ok(i) => return Some(&mut node.vals[i]),
+                Err(i) => {
+                    if node.is_leaf() {
+                        return None;
+                    }
+                    node = &mut node.children[i];
+                }
+            }
+        }
+    }
+
+    /// Inserts `key -> val`, returning the previous value if present.
+    pub fn insert(&mut self, key: u64, val: V) -> Option<V> {
+        let mut root = match self.root.take() {
+            Some(r) => r,
+            None => Box::new(Node::leaf()),
+        };
+        if root.is_full() {
+            // Grow: split the old root under a fresh one.
+            let mut new_root = Box::new(Node::leaf());
+            new_root.children.push(root);
+            split_child(&mut new_root, 0);
+            root = new_root;
+        }
+        let prev = insert_nonfull(&mut root, key, val);
+        self.root = Some(root);
+        if prev.is_none() {
+            self.len += 1;
+        }
+        prev
+    }
+
+    /// Removes `key`, returning its value if present.
+    pub fn remove(&mut self, key: u64) -> Option<V> {
+        let mut root = self.root.take()?;
+        let out = remove_key(&mut root, key);
+        if root.keys.is_empty() {
+            self.root = if root.is_leaf() {
+                None
+            } else {
+                Some(root.children.pop().expect("internal root has a child"))
+            };
+        } else {
+            self.root = Some(root);
+        }
+        if out.is_some() {
+            self.len -= 1;
+        }
+        out
+    }
+
+    /// Visits every `(key, value)` in ascending key order.
+    pub fn for_each(&self, f: &mut impl FnMut(u64, &V)) {
+        if let Some(r) = &self.root {
+            visit(r, f);
+        }
+    }
+
+    /// Collects the keys in ascending order (test/diagnostic helper).
+    pub fn keys(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.len);
+        self.for_each(&mut |k, _| out.push(k));
+        out
+    }
+
+    /// Drains the index, visiting every entry (used when dropping a file's
+    /// buffered state).
+    pub fn drain(&mut self, f: &mut impl FnMut(u64, V)) {
+        if let Some(r) = self.root.take() {
+            drain_node(*r, f);
+        }
+        self.len = 0;
+    }
+}
+
+fn visit<V>(node: &Node<V>, f: &mut impl FnMut(u64, &V)) {
+    if node.is_leaf() {
+        for (k, v) in node.keys.iter().zip(&node.vals) {
+            f(*k, v);
+        }
+        return;
+    }
+    for i in 0..node.keys.len() {
+        visit(&node.children[i], f);
+        f(node.keys[i], &node.vals[i]);
+    }
+    visit(node.children.last().expect("internal node has children"), f);
+}
+
+fn drain_node<V>(node: Node<V>, f: &mut impl FnMut(u64, V)) {
+    let Node {
+        keys,
+        vals,
+        mut children,
+    } = node;
+    if children.is_empty() {
+        for (k, v) in keys.into_iter().zip(vals) {
+            f(k, v);
+        }
+        return;
+    }
+    let last = children.pop().expect("internal node has children");
+    for ((k, v), c) in keys.into_iter().zip(vals).zip(children) {
+        drain_node(*c, f);
+        f(k, v);
+    }
+    drain_node(*last, f);
+}
+
+/// Splits the full child `i` of `parent`, hoisting its median.
+fn split_child<V>(parent: &mut Node<V>, i: usize) {
+    let child = &mut parent.children[i];
+    debug_assert!(child.is_full());
+    let mut right = Box::new(Node::leaf());
+    right.keys = child.keys.split_off(B);
+    right.vals = child.vals.split_off(B);
+    if !child.is_leaf() {
+        right.children = child.children.split_off(B);
+    }
+    let mid_key = child.keys.pop().expect("median key");
+    let mid_val = child.vals.pop().expect("median val");
+    parent.keys.insert(i, mid_key);
+    parent.vals.insert(i, mid_val);
+    parent.children.insert(i + 1, right);
+}
+
+fn insert_nonfull<V>(node: &mut Node<V>, key: u64, val: V) -> Option<V> {
+    debug_assert!(!node.is_full());
+    match node.keys.binary_search(&key) {
+        Ok(i) => Some(std::mem::replace(&mut node.vals[i], val)),
+        Err(mut i) => {
+            if node.is_leaf() {
+                node.keys.insert(i, key);
+                node.vals.insert(i, val);
+                None
+            } else {
+                if node.children[i].is_full() {
+                    split_child(node, i);
+                    match node.keys[i].cmp(&key) {
+                        std::cmp::Ordering::Equal => {
+                            return Some(std::mem::replace(&mut node.vals[i], val));
+                        }
+                        std::cmp::Ordering::Less => i += 1,
+                        std::cmp::Ordering::Greater => {}
+                    }
+                }
+                insert_nonfull(&mut node.children[i], key, val)
+            }
+        }
+    }
+}
+
+/// Removes `key` from the subtree at `node`, which must hold at least `B`
+/// keys unless it is the root.
+fn remove_key<V>(node: &mut Node<V>, key: u64) -> Option<V> {
+    match node.keys.binary_search(&key) {
+        Ok(i) => {
+            if node.is_leaf() {
+                node.keys.remove(i);
+                return Some(node.vals.remove(i));
+            }
+            // Replace with predecessor or successor, or merge.
+            if node.children[i].keys.len() >= B {
+                let (pk, pv) = pop_max(&mut node.children[i]);
+                node.keys[i] = pk;
+                return Some(std::mem::replace(&mut node.vals[i], pv));
+            }
+            if node.children[i + 1].keys.len() >= B {
+                let (sk, sv) = pop_min(&mut node.children[i + 1]);
+                node.keys[i] = sk;
+                return Some(std::mem::replace(&mut node.vals[i], sv));
+            }
+            merge_children(node, i);
+            remove_key(&mut node.children[i], key)
+        }
+        Err(i) => {
+            if node.is_leaf() {
+                return None;
+            }
+            if node.children[i].keys.len() < B {
+                fill_child(node, i);
+                // Restructuring may have pulled the key into this node or
+                // shifted the child the key descends into; re-search.
+                if let Ok(j) = node.keys.binary_search(&key) {
+                    return remove_at_internal(node, j);
+                }
+                let i = node.keys.partition_point(|&k| k < key);
+                return remove_key(&mut node.children[i], key);
+            }
+            remove_key(&mut node.children[i], key)
+        }
+    }
+}
+
+fn remove_at_internal<V>(node: &mut Node<V>, i: usize) -> Option<V> {
+    if node.children[i].keys.len() >= B {
+        let (pk, pv) = pop_max(&mut node.children[i]);
+        node.keys[i] = pk;
+        return Some(std::mem::replace(&mut node.vals[i], pv));
+    }
+    if node.children[i + 1].keys.len() >= B {
+        let (sk, sv) = pop_min(&mut node.children[i + 1]);
+        node.keys[i] = sk;
+        return Some(std::mem::replace(&mut node.vals[i], sv));
+    }
+    let key = node.keys[i];
+    merge_children(node, i);
+    remove_key(&mut node.children[i], key)
+}
+
+fn pop_max<V>(node: &mut Node<V>) -> (u64, V) {
+    if node.is_leaf() {
+        let k = node.keys.pop().expect("non-empty");
+        let v = node.vals.pop().expect("non-empty");
+        return (k, v);
+    }
+    let last = node.children.len() - 1;
+    if node.children[last].keys.len() < B {
+        fill_child(node, last);
+    }
+    let last = node.children.len() - 1;
+    pop_max(&mut node.children[last])
+}
+
+fn pop_min<V>(node: &mut Node<V>) -> (u64, V) {
+    if node.is_leaf() {
+        let v = node.vals.remove(0);
+        return (node.keys.remove(0), v);
+    }
+    if node.children[0].keys.len() < B {
+        fill_child(node, 0);
+    }
+    pop_min(&mut node.children[0])
+}
+
+/// Ensures child `i` has at least `B` keys by borrowing or merging.
+fn fill_child<V>(node: &mut Node<V>, i: usize) {
+    if i > 0 && node.children[i - 1].keys.len() >= B {
+        // Borrow from the left sibling through the separator.
+        let (lk, lv, lc) = {
+            let left = &mut node.children[i - 1];
+            let k = left.keys.pop().expect("left sibling non-empty");
+            let v = left.vals.pop().expect("left sibling non-empty");
+            let c = if left.is_leaf() {
+                None
+            } else {
+                left.children.pop()
+            };
+            (k, v, c)
+        };
+        let sep_k = std::mem::replace(&mut node.keys[i - 1], lk);
+        let sep_v = std::mem::replace(&mut node.vals[i - 1], lv);
+        let child = &mut node.children[i];
+        child.keys.insert(0, sep_k);
+        child.vals.insert(0, sep_v);
+        if let Some(c) = lc {
+            child.children.insert(0, c);
+        }
+    } else if i + 1 < node.children.len() && node.children[i + 1].keys.len() >= B {
+        // Borrow from the right sibling through the separator.
+        let (rk, rv, rc) = {
+            let right = &mut node.children[i + 1];
+            let v = right.vals.remove(0);
+            let k = right.keys.remove(0);
+            let c = if right.is_leaf() {
+                None
+            } else {
+                Some(right.children.remove(0))
+            };
+            (k, v, c)
+        };
+        let sep_k = std::mem::replace(&mut node.keys[i], rk);
+        let sep_v = std::mem::replace(&mut node.vals[i], rv);
+        let child = &mut node.children[i];
+        child.keys.push(sep_k);
+        child.vals.push(sep_v);
+        if let Some(c) = rc {
+            child.children.push(c);
+        }
+    } else if i > 0 {
+        merge_children(node, i - 1);
+    } else {
+        merge_children(node, i);
+    }
+}
+
+/// Merges child `i+1` and the separator `i` into child `i`.
+fn merge_children<V>(node: &mut Node<V>, i: usize) {
+    let right = node.children.remove(i + 1);
+    let sep_k = node.keys.remove(i);
+    let sep_v = node.vals.remove(i);
+    let left = &mut node.children[i];
+    left.keys.push(sep_k);
+    left.vals.push(sep_v);
+    left.keys.extend(right.keys);
+    left.vals.extend(right.vals);
+    left.children.extend(right.children);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn empty_index() {
+        let idx: BTreeIndex<u32> = BTreeIndex::new();
+        assert!(idx.is_empty());
+        assert_eq!(idx.get(0), None);
+        assert_eq!(idx.keys(), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn insert_get_overwrite() {
+        let mut idx = BTreeIndex::new();
+        assert_eq!(idx.insert(5, 50u32), None);
+        assert_eq!(idx.insert(3, 30), None);
+        assert_eq!(idx.insert(5, 55), Some(50));
+        assert_eq!(idx.len(), 2);
+        assert_eq!(idx.get(5), Some(&55));
+        assert_eq!(idx.get(3), Some(&30));
+        assert_eq!(idx.get(4), None);
+    }
+
+    #[test]
+    fn ascending_bulk_insert_and_iterate() {
+        let mut idx = BTreeIndex::new();
+        for i in 0..1000u64 {
+            idx.insert(i, i as u32 * 2);
+        }
+        assert_eq!(idx.len(), 1000);
+        assert_eq!(idx.keys(), (0..1000).collect::<Vec<_>>());
+        for i in 0..1000u64 {
+            assert_eq!(idx.get(i), Some(&(i as u32 * 2)));
+        }
+    }
+
+    #[test]
+    fn remove_everything_descending() {
+        let mut idx = BTreeIndex::new();
+        for i in 0..500u64 {
+            idx.insert(i, i as u32);
+        }
+        for i in (0..500u64).rev() {
+            assert_eq!(idx.remove(i), Some(i as u32), "removing {i}");
+        }
+        assert!(idx.is_empty());
+        assert_eq!(idx.remove(7), None);
+    }
+
+    #[test]
+    fn get_mut_updates_in_place() {
+        let mut idx = BTreeIndex::new();
+        idx.insert(9, 1u32);
+        *idx.get_mut(9).unwrap() += 41;
+        assert_eq!(idx.get(9), Some(&42));
+        assert_eq!(idx.get_mut(10), None);
+    }
+
+    #[test]
+    fn drain_visits_everything_once() {
+        let mut idx = BTreeIndex::new();
+        for i in 0..100u64 {
+            idx.insert(i * 7 % 101, i as u32);
+        }
+        let n = idx.len();
+        let mut seen = Vec::new();
+        idx.drain(&mut |k, _v| seen.push(k));
+        assert_eq!(seen.len(), n);
+        let mut sorted = seen.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), n, "no duplicates");
+        assert!(idx.is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn matches_btreemap_model(ops in prop::collection::vec(
+            (0u8..3, 0u64..200, 0u32..1000), 1..400)) {
+            let mut idx = BTreeIndex::new();
+            let mut model = BTreeMap::new();
+            for (op, k, v) in ops {
+                match op {
+                    0 => prop_assert_eq!(idx.insert(k, v), model.insert(k, v)),
+                    1 => prop_assert_eq!(idx.remove(k), model.remove(&k)),
+                    _ => prop_assert_eq!(idx.get(k), model.get(&k)),
+                }
+                prop_assert_eq!(idx.len(), model.len());
+            }
+            let keys: Vec<u64> = model.keys().copied().collect();
+            prop_assert_eq!(idx.keys(), keys);
+        }
+
+        #[test]
+        fn random_heavy_churn(seed_keys in prop::collection::vec(0u64..50, 0..600)) {
+            // Many duplicate keys force splits, borrows and merges.
+            let mut idx = BTreeIndex::new();
+            let mut model = BTreeMap::new();
+            for (i, k) in seed_keys.iter().enumerate() {
+                if i % 3 == 0 {
+                    prop_assert_eq!(idx.remove(*k), model.remove(k));
+                } else {
+                    prop_assert_eq!(idx.insert(*k, i as u32), model.insert(*k, i as u32));
+                }
+            }
+            for k in 0..50u64 {
+                prop_assert_eq!(idx.get(k), model.get(&k));
+            }
+        }
+    }
+}

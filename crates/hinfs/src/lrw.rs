@@ -1,0 +1,28 @@
+//! The global LRW (Least Recently Written) list (paper §3.2).
+//!
+//! All buffered DRAM blocks sit on one recency list ordered by last written
+//! time; writing a block moves it to the MRW (most recently written) end
+//! and the background writeback threads pick victims from the LRW end. The
+//! structure itself is the shared intrusive list from
+//! [`fskit::lrulist`] — the same machinery the page-cache baselines use
+//! for plain LRU — parameterized here by *write* recency: only writes call
+//! [`LrwList::touch`], never reads.
+
+pub use fskit::lrulist::{RecencyList as LrwList, NIL};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lrw_semantics_track_write_recency() {
+        let mut l = LrwList::new(4);
+        l.push_head(0); // first write
+        l.push_head(1);
+        l.push_head(2);
+        // A write to 0 makes it MRW; reads would NOT touch.
+        l.touch(0);
+        assert_eq!(l.tail(), Some(1), "LRW victim is the oldest written");
+        assert_eq!(l.head(), Some(0));
+    }
+}

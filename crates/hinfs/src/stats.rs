@@ -1,0 +1,138 @@
+//! HiNFS runtime counters (feed the experiment harness and Fig 6/9).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters of one HiNFS mount.
+#[derive(Debug, Default)]
+pub struct HinfsStats {
+    /// Lazy-persistent writes that hit an already-buffered block.
+    pub buffer_hits: AtomicU64,
+    /// Lazy-persistent writes that allocated a new buffer block.
+    pub buffer_misses: AtomicU64,
+    /// Writes routed to the DRAM buffer.
+    pub lazy_writes: AtomicU64,
+    /// Writes that bypassed the buffer via the Buffer Benefit Model
+    /// (case 2 of §3.3.2).
+    pub eager_writes: AtomicU64,
+    /// Writes that were synchronous by flag/mount (case 1 of §3.3.2).
+    pub sync_writes: AtomicU64,
+    /// Cachelines fetched from NVMM into the buffer (CLFW fetch).
+    pub fetch_lines: AtomicU64,
+    /// Cachelines written back from the buffer to NVMM.
+    pub writeback_lines: AtomicU64,
+    /// Buffer blocks flushed.
+    pub writeback_blocks: AtomicU64,
+    /// Times a foreground write had to flush a victim itself because the
+    /// pool was exhausted (the stall the paper's `Low_f` tries to avoid).
+    pub foreground_stalls: AtomicU64,
+    /// Buffer Benefit Model evaluations at synchronization points.
+    pub bbm_evals: AtomicU64,
+    /// Evaluations whose decision matched the block's previous decision
+    /// (the Fig 6 accuracy numerator).
+    pub bbm_accurate: AtomicU64,
+    /// Lazy transactions opened / committed.
+    pub txs_opened: AtomicU64,
+    pub txs_committed: AtomicU64,
+    /// Dirty buffered blocks dropped without writeback because their file
+    /// was deleted (the short-lived-file win of Fig 10/13).
+    pub dropped_dirty_blocks: AtomicU64,
+}
+
+/// Point-in-time copy of [`HinfsStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    pub buffer_hits: u64,
+    pub buffer_misses: u64,
+    pub lazy_writes: u64,
+    pub eager_writes: u64,
+    pub sync_writes: u64,
+    pub fetch_lines: u64,
+    pub writeback_lines: u64,
+    pub writeback_blocks: u64,
+    pub foreground_stalls: u64,
+    pub bbm_evals: u64,
+    pub bbm_accurate: u64,
+    pub txs_opened: u64,
+    pub txs_committed: u64,
+    pub dropped_dirty_blocks: u64,
+}
+
+impl HinfsStats {
+    /// Zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn bump(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Copies the counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let g = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        StatsSnapshot {
+            buffer_hits: g(&self.buffer_hits),
+            buffer_misses: g(&self.buffer_misses),
+            lazy_writes: g(&self.lazy_writes),
+            eager_writes: g(&self.eager_writes),
+            sync_writes: g(&self.sync_writes),
+            fetch_lines: g(&self.fetch_lines),
+            writeback_lines: g(&self.writeback_lines),
+            writeback_blocks: g(&self.writeback_blocks),
+            foreground_stalls: g(&self.foreground_stalls),
+            bbm_evals: g(&self.bbm_evals),
+            bbm_accurate: g(&self.bbm_accurate),
+            txs_opened: g(&self.txs_opened),
+            txs_committed: g(&self.txs_committed),
+            dropped_dirty_blocks: g(&self.dropped_dirty_blocks),
+        }
+    }
+}
+
+impl StatsSnapshot {
+    /// The Fig 6 metric: fraction of Buffer Benefit Model evaluations whose
+    /// decision matched the block's previous decision.
+    pub fn bbm_accuracy(&self) -> f64 {
+        if self.bbm_evals == 0 {
+            return 1.0;
+        }
+        self.bbm_accurate as f64 / self.bbm_evals as f64
+    }
+
+    /// Buffer write hit ratio.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.buffer_hits + self.buffer_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.buffer_hits as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_bumps() {
+        let s = HinfsStats::new();
+        HinfsStats::bump(&s.lazy_writes, 3);
+        HinfsStats::bump(&s.eager_writes, 1);
+        let snap = s.snapshot();
+        assert_eq!(snap.lazy_writes, 3);
+        assert_eq!(snap.eager_writes, 1);
+    }
+
+    #[test]
+    fn derived_ratios() {
+        let mut snap = StatsSnapshot::default();
+        assert_eq!(snap.bbm_accuracy(), 1.0);
+        assert_eq!(snap.hit_ratio(), 0.0);
+        snap.bbm_evals = 10;
+        snap.bbm_accurate = 9;
+        assert!((snap.bbm_accuracy() - 0.9).abs() < 1e-9);
+        snap.buffer_hits = 3;
+        snap.buffer_misses = 1;
+        assert!((snap.hit_ratio() - 0.75).abs() < 1e-9);
+    }
+}

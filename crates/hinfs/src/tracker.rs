@@ -1,0 +1,150 @@
+//! Ordered-mode transaction tracking (paper §4.1).
+//!
+//! A lazy-persistent write journals and applies its metadata immediately
+//! but must not write the commit record "until the related DRAM data
+//! blocks are persisted to NVMM". Each file keeps its open transactions in
+//! a FIFO ([`FileBuf::txs`]); a transaction commits only when
+//!
+//! 1. every data block it covers has been flushed (its `pending` set is
+//!    empty), **and**
+//! 2. it is the oldest open transaction of the file.
+//!
+//! Rule 2 is essential for undo-log correctness: transactions of one file
+//! all journal the same inode core, and undo records are only safe to leave
+//! behind if commits happen in logging order — otherwise recovery of an
+//! older open transaction would roll back a newer committed one.
+
+use std::collections::HashSet;
+
+use pmfs::{Journal, TxHandle};
+
+use crate::buffer::{FileBuf, LocalTx};
+use crate::stats::HinfsStats;
+
+/// Enqueues a transaction with the blocks whose flush it awaits. Pass an
+/// empty set for transactions with no buffered data (they still wait their
+/// FIFO turn).
+pub fn enqueue(file: &mut FileBuf, tx: TxHandle, pending: HashSet<u64>, stats: &HinfsStats) {
+    HinfsStats::bump(&stats.txs_opened, 1);
+    file.txs.push_back(LocalTx { tx, pending });
+}
+
+/// Records that `(file, iblk)` reached NVMM: clears it from every open
+/// transaction and commits the ready prefix.
+pub fn note_flushed(file: &mut FileBuf, journal: &Journal, iblk: u64, stats: &HinfsStats) {
+    for t in &mut file.txs {
+        t.pending.remove(&iblk);
+    }
+    drain_ready(file, journal, stats);
+}
+
+/// Commits transactions from the front of the FIFO while they are ready.
+pub fn drain_ready(file: &mut FileBuf, journal: &Journal, stats: &HinfsStats) {
+    while file.txs.front().is_some_and(|t| t.pending.is_empty()) {
+        let t = file.txs.pop_front().expect("checked non-empty");
+        journal.commit(t.tx);
+        HinfsStats::bump(&stats.txs_committed, 1);
+    }
+}
+
+/// Force-commits every open transaction of the file, dropping pending-block
+/// requirements. Used when the file's buffered data is discarded (unlink of
+/// a file whose writes will never be performed — with allocate-on-flush the
+/// unflushed blocks are holes, so committing early exposes zeroes at worst,
+/// never garbage).
+pub fn force_commit_all(file: &mut FileBuf, journal: &Journal, stats: &HinfsStats) {
+    while let Some(t) = file.txs.pop_front() {
+        journal.commit(t.tx);
+        HinfsStats::bump(&stats.txs_committed, 1);
+    }
+}
+
+/// Number of open transactions across every file (diagnostics).
+pub fn open_count(file: &FileBuf) -> usize {
+    file.txs.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvmm::{CostModel, NvmmDevice, SimEnv, BLOCK_SIZE};
+    use pmfs::{Journal, Layout};
+    use std::sync::Arc;
+
+    fn journal() -> (Arc<NvmmDevice>, Journal, Layout) {
+        let dev = NvmmDevice::new(SimEnv::new_virtual(CostModel::default()), 1024 * BLOCK_SIZE);
+        let layout = Layout::compute(1024, 32, 64).unwrap();
+        Journal::format(&dev, &layout);
+        let j = Journal::open(dev.clone(), &layout).unwrap();
+        (dev, j, layout)
+    }
+
+    fn pending(iblks: &[u64]) -> HashSet<u64> {
+        iblks.iter().copied().collect()
+    }
+
+    #[test]
+    fn fifo_commit_order_is_preserved() {
+        let (_d, j, _l) = journal();
+        let stats = HinfsStats::new();
+        let mut f = FileBuf::new();
+        let t1 = j.begin().unwrap();
+        let t2 = j.begin().unwrap();
+        enqueue(&mut f, t1, pending(&[1]), &stats);
+        enqueue(&mut f, t2, pending(&[2]), &stats);
+        // Block 2 flushes first: t2 is ready but t1 blocks the FIFO.
+        note_flushed(&mut f, &j, 2, &stats);
+        assert_eq!(f.txs.len(), 2, "t2 must wait for t1");
+        assert_eq!(j.open_txs(), 2);
+        // Block 1 flushes: both drain in order.
+        note_flushed(&mut f, &j, 1, &stats);
+        assert!(f.txs.is_empty());
+        assert_eq!(j.open_txs(), 0);
+        assert_eq!(stats.snapshot().txs_committed, 2);
+    }
+
+    #[test]
+    fn shared_block_across_transactions() {
+        let (_d, j, _l) = journal();
+        let stats = HinfsStats::new();
+        let mut f = FileBuf::new();
+        let t1 = j.begin().unwrap();
+        let t2 = j.begin().unwrap();
+        enqueue(&mut f, t1, pending(&[5]), &stats);
+        enqueue(&mut f, t2, pending(&[5, 6]), &stats);
+        note_flushed(&mut f, &j, 5, &stats);
+        assert_eq!(f.txs.len(), 1, "t1 committed, t2 still waits on 6");
+        note_flushed(&mut f, &j, 6, &stats);
+        assert!(f.txs.is_empty());
+    }
+
+    #[test]
+    fn empty_pending_still_waits_its_turn() {
+        let (_d, j, _l) = journal();
+        let stats = HinfsStats::new();
+        let mut f = FileBuf::new();
+        let t1 = j.begin().unwrap();
+        let t2 = j.begin().unwrap();
+        enqueue(&mut f, t1, pending(&[9]), &stats);
+        enqueue(&mut f, t2, HashSet::new(), &stats);
+        drain_ready(&mut f, &j, &stats);
+        assert_eq!(f.txs.len(), 2, "ready t2 must not jump over t1");
+        note_flushed(&mut f, &j, 9, &stats);
+        assert!(f.txs.is_empty());
+    }
+
+    #[test]
+    fn force_commit_clears_everything() {
+        let (_d, j, _l) = journal();
+        let stats = HinfsStats::new();
+        let mut f = FileBuf::new();
+        for i in 0..5u64 {
+            let t = j.begin().unwrap();
+            enqueue(&mut f, t, pending(&[i]), &stats);
+        }
+        force_commit_all(&mut f, &j, &stats);
+        assert!(f.txs.is_empty());
+        assert_eq!(j.open_txs(), 0);
+        assert_eq!(stats.snapshot().txs_committed, 5);
+    }
+}

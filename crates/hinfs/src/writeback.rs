@@ -1,0 +1,464 @@
+//! Background writeback: flushing, eviction and the reclaim policy
+//! (paper §3.2).
+//!
+//! Dirty DRAM blocks are written back to NVMM at cacheline granularity
+//! (CLFW) by:
+//!
+//! - the **reclaim path**, woken when free blocks drop below `Low_f`,
+//!   evicting LRW victims until `High_f` is reached;
+//! - the **periodic pass** (every 5 s), which also flushes any dirty block
+//!   last written more than 30 s ago;
+//! - **foreground stalls**: when the pool is exhausted before background
+//!   writeback catches up, the writing thread flushes a victim itself and
+//!   pays for it (the cost `Low_f` exists to avoid);
+//! - **fsync**, which flushes the file's blocks on the caller's clock.
+//!
+//! In spin mode these run on real threads; in virtual mode they run as a
+//! deterministic *writeback actor* whose own clock advances independently
+//! of the foreground (see [`WbCtl`]).
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use fskit::{FsError, Result};
+use nvmm::{Cat, TimeMode, BLOCK_SIZE, CACHELINE};
+use parking_lot::{Condvar, Mutex};
+use pmfs::inode::InodeMem;
+use pmfs::Layout;
+
+use crate::buffer::{runs, Shared};
+use crate::fs::Hinfs;
+use crate::stats::HinfsStats;
+use crate::tracker;
+
+/// Control state of the writeback machinery.
+#[derive(Debug)]
+pub struct WbCtl {
+    /// The writeback actor's virtual clock (virtual mode only).
+    pub(crate) clock: AtomicU64,
+    /// Last periodic pass, in simulated ns.
+    pub(crate) last_periodic: AtomicU64,
+    pub(crate) stop: AtomicBool,
+    pub(crate) kick_flag: Mutex<bool>,
+    pub(crate) kick_cv: Condvar,
+    pub(crate) threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl WbCtl {
+    pub(crate) fn new() -> WbCtl {
+        WbCtl {
+            clock: AtomicU64::new(0),
+            last_periodic: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+            kick_flag: Mutex::new(false),
+            kick_cv: Condvar::new(),
+            threads: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+/// Outcome of one flush attempt under the shared lock.
+pub(crate) enum FlushTry {
+    /// Flushed (or already clean).
+    Done,
+    /// The block maps to a hole; flushing needs the owner inode's lock.
+    NeedsInode(u64),
+}
+
+impl Hinfs {
+    /// Writes one buffered block's dirty lines to NVMM. Caller holds the
+    /// shared lock; `state` supplies the owner inode when available. When
+    /// the block covers a file hole and `state` is `None`, returns
+    /// [`FlushTry::NeedsInode`] without side effects.
+    pub(crate) fn flush_slot_locked(
+        &self,
+        sh: &mut Shared,
+        slot: u32,
+        mut state: Option<&mut InodeMem>,
+    ) -> Result<FlushTry> {
+        let meta = *sh.pool().meta(slot);
+        if meta.dirty == 0 {
+            return Ok(FlushTry::Done);
+        }
+        let dev = self.inner.device();
+        let pblk = if meta.nvmm_block != 0 {
+            meta.nvmm_block
+        } else {
+            // Resolve or allocate the NVMM block.
+            let looked_up = state
+                .as_deref()
+                .and_then(|st| pmfs::tree::lookup(dev, st, meta.iblk));
+            match looked_up {
+                Some(p) => p,
+                None => {
+                    let Some(st) = state.as_deref_mut() else {
+                        return Ok(FlushTry::NeedsInode(meta.ino));
+                    };
+                    // Allocate on flush: fresh block. Zero the clean lines
+                    // a reader could reach (up to end of file); lines fully
+                    // beyond EOF are unreachable and the write path zeroes
+                    // them explicitly if the file later grows over them —
+                    // this is what keeps CLFW's NVMM write traffic at
+                    // dirty-line granularity (Fig 9b).
+                    let p = self.inner.allocator().alloc()?;
+                    let base = Layout::block_off(p);
+                    let in_file = st
+                        .size
+                        .saturating_sub(meta.iblk * nvmm::BLOCK_SIZE as u64)
+                        .min(nvmm::BLOCK_SIZE as u64) as usize;
+                    let readable = crate::buffer::range_mask(0, in_file);
+                    for (start, n) in runs(readable & !meta.dirty) {
+                        dev.zero_persist(
+                            Cat::Writeback,
+                            base + start as u64 * CACHELINE as u64,
+                            n as usize * CACHELINE,
+                        );
+                    }
+                    pmfs::tree::insert(dev, self.inner.allocator(), st, meta.iblk, p)?;
+                    st.blocks += 1;
+                    // Persist the block-count change through the ordered
+                    // FIFO. This is strictly best-effort: flushing must
+                    // make progress even under journal pressure (it is the
+                    // pressure-relief path), and the count is rebuilt from
+                    // the tree at recovery anyway.
+                    if let Ok(tx) = self.inner.journal().begin() {
+                        match self.inner.log_write_inode(&tx, meta.ino, st) {
+                            Ok(()) => tracker::enqueue(
+                                sh.file_mut(meta.ino),
+                                tx,
+                                HashSet::new(),
+                                &self.stats,
+                            ),
+                            // Ring too full even for two undo entries:
+                            // resolve the empty transaction and move on.
+                            Err(_) => self.inner.journal().commit(tx),
+                        }
+                    }
+                    p
+                }
+            }
+        };
+        // Write the dirty runs (CLFW: only dirty cachelines move).
+        let base = Layout::block_off(pblk);
+        for (start, n) in runs(meta.dirty) {
+            let b = start as usize * CACHELINE;
+            let data = &sh.pool().block(slot)[b..b + n as usize * CACHELINE];
+            dev.write_persist(Cat::Writeback, base + b as u64, data);
+        }
+        dev.sfence();
+        HinfsStats::bump(&self.stats.writeback_lines, meta.dirty.count_ones() as u64);
+        HinfsStats::bump(&self.stats.writeback_blocks, 1);
+        {
+            let m = sh.pool_mut().meta_mut(slot);
+            m.dirty = 0;
+            m.nvmm_block = pblk;
+        }
+        sh.dirty_blocks -= 1;
+        tracker::note_flushed(
+            sh.file_mut(meta.ino),
+            self.inner.journal(),
+            meta.iblk,
+            &self.stats,
+        );
+        Ok(FlushTry::Done)
+    }
+
+    /// Flushes (if dirty) and releases a slot, dropping it from its file's
+    /// DRAM Block Index. Same `state` contract as [`Self::flush_slot_locked`].
+    pub(crate) fn evict_slot_locked(
+        &self,
+        sh: &mut Shared,
+        slot: u32,
+        state: Option<&mut InodeMem>,
+    ) -> Result<FlushTry> {
+        if let FlushTry::NeedsInode(ino) = self.flush_slot_locked(sh, slot, state)? {
+            return Ok(FlushTry::NeedsInode(ino));
+        }
+        let meta = *sh.pool().meta(slot);
+        if let Some(file) = sh.files.get_mut(&meta.ino) {
+            file.index.remove(meta.iblk);
+        }
+        sh.pool_mut().release_slot(slot);
+        Ok(FlushTry::Done)
+    }
+
+    /// Reclaims LRW victims until `target_free` blocks are free.
+    ///
+    /// `own` lends the caller's already-locked inode so its own blocks can
+    /// be flushed without re-locking. `blocking` selects whether foreign
+    /// inode locks may be waited on (background) or only tried
+    /// (foreground stall path — waiting there could deadlock).
+    pub(crate) fn reclaim(
+        &self,
+        target_free: usize,
+        mut own: Option<(u64, &mut InodeMem)>,
+        blocking: bool,
+    ) {
+        loop {
+            let mut sh = self.shared.lock();
+            if sh.pool().free_count() >= target_free {
+                return;
+            }
+            // Find the oldest victim we can handle in this iteration.
+            let mut victim: Option<(u32, u64)> = None; // (slot, ino-if-foreign)
+            for slot in sh.pool().lrw.iter_from_tail() {
+                let m = sh.pool().meta(slot);
+                let self_sufficient = m.dirty == 0 || m.nvmm_block != 0;
+                let is_own = own.as_ref().is_some_and(|(oino, _)| *oino == m.ino);
+                if self_sufficient || is_own {
+                    victim = Some((slot, 0));
+                    break;
+                }
+                if victim.is_none() {
+                    victim = Some((slot, m.ino));
+                }
+            }
+            let Some((slot, foreign_ino)) = victim else {
+                return; // pool empty of victims (everything already free)
+            };
+            if foreign_ino == 0 {
+                let state = own.as_mut().map(|(_, st)| &mut **st);
+                // Self-sufficient or own-inode victims cannot fail with
+                // NeedsInode; allocator exhaustion aborts the pass.
+                if self.evict_slot_locked(&mut sh, slot, state).is_err() {
+                    return;
+                }
+                continue;
+            }
+            // Foreign hole-block: take the owner's inode lock with the
+            // shared lock dropped (lock order: inode before shared).
+            drop(sh);
+            let Ok(handle) = self.inner.inode(foreign_ino) else {
+                continue; // raced with deletion; rescan
+            };
+            let guard = if blocking {
+                Some(handle.state.write())
+            } else {
+                handle.state.try_write()
+            };
+            let Some(mut guard) = guard else {
+                // Foreground stall path: do not wait (deadlock risk);
+                // rescan — background writeback will handle it.
+                std::thread::yield_now();
+                continue;
+            };
+            let mut sh = self.shared.lock();
+            // Re-validate after re-locking.
+            let still = sh.slot_of(foreign_ino, sh.pool().meta(slot).iblk) == Some(slot)
+                && sh.pool().meta(slot).ino == foreign_ino;
+            if still {
+                let _ = self.evict_slot_locked(&mut sh, slot, Some(&mut guard));
+            }
+        }
+    }
+
+    /// One full writeback pass at time `now` (on the caller's clock):
+    /// watermark reclaim, then the 30 s dirty-age flush.
+    pub(crate) fn wb_pass(&self, now: u64) {
+        {
+            let sh = self.shared.lock();
+            let free = sh.pool().free_count();
+            let low = self.cfg.low_blocks();
+            drop(sh);
+            if free < low {
+                self.reclaim(self.cfg.high_blocks(), None, true);
+            }
+        }
+        // Age-based flush: the LRW list is ordered by last write, so scan
+        // from the LRW end until blocks get too young.
+        loop {
+            let mut sh = self.shared.lock();
+            let mut target: Option<(u32, u64)> = None;
+            for slot in sh.pool().lrw.iter_from_tail() {
+                let m = sh.pool().meta(slot);
+                if m.last_write_ns + self.cfg.dirty_age_ns > now {
+                    break;
+                }
+                if m.dirty != 0 {
+                    target = Some((slot, m.ino));
+                    break;
+                }
+            }
+            let Some((slot, ino)) = target else { return };
+            match self.flush_slot_locked(&mut sh, slot, None) {
+                Ok(FlushTry::Done) => continue,
+                Ok(FlushTry::NeedsInode(_)) => {
+                    drop(sh);
+                    let Ok(handle) = self.inner.inode(ino) else {
+                        continue;
+                    };
+                    let mut guard = handle.state.write();
+                    let mut sh = self.shared.lock();
+                    let iblk = sh.pool().meta(slot).iblk;
+                    if sh.slot_of(ino, iblk) == Some(slot) {
+                        let _ = self.flush_slot_locked(&mut sh, slot, Some(&mut guard));
+                    }
+                }
+                Err(_) => return,
+            }
+        }
+    }
+
+    /// Virtual-mode hook: runs due background work on the writeback actor's
+    /// clock (never the caller's).
+    pub(crate) fn tick_virtual(&self, now: u64) {
+        if self.env.mode() != TimeMode::Virtual {
+            return;
+        }
+        let need_reclaim = {
+            let sh = self.shared.lock();
+            sh.pool().free_count() < self.cfg.low_blocks()
+        };
+        let last = self.wb.last_periodic.load(Ordering::Relaxed);
+        let periodic_due = now.saturating_sub(last) >= self.cfg.periodic_wb_ns;
+        if !need_reclaim && !periodic_due {
+            return;
+        }
+        if periodic_due {
+            self.wb.last_periodic.store(now, Ordering::Relaxed);
+        }
+        // The writeback actor runs at most MAX_LEAD ahead of the
+        // foreground: a real background thread shares wall time with its
+        // producers, and bounding the lead also re-anchors the actor after
+        // a timeline rebase (env.rebase() moves the foreground back to 0).
+        const MAX_LEAD: u64 = 20_000_000; // 20 ms
+        let wb_now = self
+            .wb
+            .clock
+            .load(Ordering::Relaxed)
+            .clamp(now, now + MAX_LEAD);
+        let ((), end) = self.env.with_now(wb_now, || self.wb_pass(wb_now));
+        self.wb.clock.store(end, Ordering::Relaxed);
+    }
+
+    /// Wakes the background threads (spin mode) or runs the actor
+    /// (virtual mode).
+    pub(crate) fn kick_background(&self, now: u64) {
+        match self.env.mode() {
+            TimeMode::Virtual => self.tick_virtual(now),
+            TimeMode::Spin => {
+                let mut flag = self.wb.kick_flag.lock();
+                *flag = true;
+                self.wb.kick_cv.notify_all();
+            }
+        }
+    }
+
+    /// Spawns the spin-mode writeback threads ("multiple independent kernel
+    /// threads created at mount time").
+    pub(crate) fn start_background(self: &Arc<Self>) {
+        if self.env.mode() != TimeMode::Spin {
+            return;
+        }
+        let mut threads = self.wb.threads.lock();
+        for _ in 0..self.cfg.wb_threads.max(1) {
+            let fs = Arc::clone(self);
+            threads.push(std::thread::spawn(move || loop {
+                {
+                    let mut flag = fs.wb.kick_flag.lock();
+                    if !*flag {
+                        let timeout = std::time::Duration::from_nanos(fs.cfg.periodic_wb_ns);
+                        fs.wb.kick_cv.wait_for(&mut flag, timeout);
+                    }
+                    *flag = false;
+                }
+                if fs.wb.stop.load(Ordering::Relaxed) {
+                    return;
+                }
+                fs.wb_pass(fs.env.now());
+            }));
+        }
+    }
+
+    /// Stops and joins the background threads (unmount).
+    pub(crate) fn stop_background(&self) {
+        self.wb.stop.store(true, Ordering::Relaxed);
+        {
+            let mut flag = self.wb.kick_flag.lock();
+            *flag = true;
+            self.wb.kick_cv.notify_all();
+        }
+        let mut threads = self.wb.threads.lock();
+        for t in threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+
+    /// Flushes every dirty buffered block of every file (sync/unmount).
+    pub(crate) fn flush_all(&self) -> Result<()> {
+        self.flush_files(true)
+    }
+
+    /// Best-effort global flush that skips inodes whose locks are busy.
+    /// Used to relieve journal pressure while a file lock is already held
+    /// (blocking there could deadlock with another writer doing the same).
+    pub(crate) fn flush_all_opportunistic(&self) {
+        let _ = self.flush_files(false);
+    }
+
+    fn flush_files(&self, blocking: bool) -> Result<()> {
+        let inos: Vec<u64> = {
+            let sh = self.shared.lock();
+            sh.files.keys().copied().collect()
+        };
+        for ino in inos {
+            let Ok(handle) = self.inner.inode(ino) else {
+                continue;
+            };
+            let guard = if blocking {
+                Some(handle.state.write())
+            } else {
+                handle.state.try_write()
+            };
+            let Some(mut guard) = guard else {
+                continue;
+            };
+            let mut sh = self.shared.lock();
+            let slots: Vec<u32> = match sh.files.get(&ino) {
+                Some(f) => {
+                    let mut v = Vec::new();
+                    f.index.for_each(&mut |_, s| v.push(*s));
+                    v
+                }
+                None => continue,
+            };
+            for slot in slots {
+                if sh.pool().meta(slot).dirty != 0 {
+                    match self.flush_slot_locked(&mut sh, slot, Some(&mut guard))? {
+                        FlushTry::Done => {}
+                        FlushTry::NeedsInode(_) => {
+                            return Err(FsError::Corrupted("flush_all could not map block"))
+                        }
+                    }
+                }
+            }
+            if let Some(file) = sh.files.get_mut(&ino) {
+                // All blocks are clean: no pending entry may gate a commit.
+                for t in &mut file.txs {
+                    t.pending.clear();
+                }
+                tracker::drain_ready(file, self.inner.journal(), &self.stats);
+                debug_assert!(file.txs.is_empty(), "flush_all left open transactions");
+            }
+        }
+        Ok(())
+    }
+
+    /// Total bytes of buffered dirty data (diagnostics).
+    pub fn dirty_blocks(&self) -> usize {
+        self.shared.lock().dirty_blocks
+    }
+
+    /// Free DRAM buffer blocks (diagnostics).
+    pub fn free_buffer_blocks(&self) -> usize {
+        self.shared.lock().pool().free_count()
+    }
+
+    /// Buffer capacity in blocks.
+    pub fn buffer_capacity(&self) -> usize {
+        let _ = BLOCK_SIZE;
+        self.shared.lock().pool().capacity()
+    }
+}

@@ -1,0 +1,189 @@
+//! The persistence domain: tracking which stores would survive a crash.
+//!
+//! Real NVMM sits behind volatile CPU caches; a store is durable only once
+//! its cacheline has been flushed (`clflush`) or was written with a
+//! non-temporal instruction. [`Shadow`] models this by keeping a second,
+//! *persistent* image of the device and a bitmap of cachelines whose latest
+//! content has not yet reached it. Crashing the device throws the pending
+//! lines away, exactly what power loss does to dirty cache contents.
+
+/// Volatile/persistent split of a tracked device.
+#[derive(Debug)]
+pub struct Shadow {
+    /// The durable image of the device.
+    persistent: Box<[u8]>,
+    /// Bit per cacheline: set if the volatile image is newer than the
+    /// persistent one for that line.
+    pending: Vec<u64>,
+    pending_count: usize,
+}
+
+use crate::CACHELINE;
+
+impl Shadow {
+    /// Creates a shadow for a device of `len` bytes (must be a multiple of
+    /// the cacheline size).
+    pub fn new(len: usize) -> Self {
+        assert_eq!(len % CACHELINE, 0, "device length must be line-aligned");
+        let lines = len / CACHELINE;
+        Shadow {
+            persistent: vec![0u8; len].into_boxed_slice(),
+            pending: vec![0u64; lines.div_ceil(64)],
+            pending_count: 0,
+        }
+    }
+
+    /// Number of cachelines currently pending (volatile-only).
+    pub fn pending_lines(&self) -> usize {
+        self.pending_count
+    }
+
+    fn is_pending(&self, line: usize) -> bool {
+        self.pending[line / 64] & (1 << (line % 64)) != 0
+    }
+
+    fn set_pending(&mut self, line: usize) {
+        let w = &mut self.pending[line / 64];
+        let bit = 1u64 << (line % 64);
+        if *w & bit == 0 {
+            *w |= bit;
+            self.pending_count += 1;
+        }
+    }
+
+    fn clear_pending(&mut self, line: usize) {
+        let w = &mut self.pending[line / 64];
+        let bit = 1u64 << (line % 64);
+        if *w & bit != 0 {
+            *w &= !bit;
+            self.pending_count -= 1;
+        }
+    }
+
+    /// Marks every line touched by `[off, off+len)` as pending.
+    pub fn mark_range(&mut self, off: u64, len: usize) {
+        if len == 0 {
+            return;
+        }
+        let first = off as usize / CACHELINE;
+        let last = (off as usize + len - 1) / CACHELINE;
+        for line in first..=last {
+            self.set_pending(line);
+        }
+    }
+
+    /// Persists every *pending* line in `[off, off+len)` by copying it from
+    /// the volatile image `mem`. Returns the number of lines persisted.
+    pub fn flush_range(&mut self, mem: &[u8], off: u64, len: usize) -> usize {
+        if len == 0 {
+            return 0;
+        }
+        let first = off as usize / CACHELINE;
+        let last = (off as usize + len - 1) / CACHELINE;
+        let mut flushed = 0;
+        for line in first..=last {
+            if self.is_pending(line) {
+                let b = line * CACHELINE;
+                self.persistent[b..b + CACHELINE].copy_from_slice(&mem[b..b + CACHELINE]);
+                self.clear_pending(line);
+                flushed += 1;
+            }
+        }
+        flushed
+    }
+
+    /// Persists `[off, off+len)` immediately (non-temporal store path).
+    pub fn persist_now(&mut self, mem: &[u8], off: u64, len: usize) {
+        if len == 0 {
+            return;
+        }
+        // NT stores persist whole lines; copy line-aligned covering range so
+        // the persistent image never holds a torn line.
+        let first = (off as usize / CACHELINE) * CACHELINE;
+        let last = ((off as usize + len - 1) / CACHELINE + 1) * CACHELINE;
+        self.persistent[first..last].copy_from_slice(&mem[first..last]);
+        for line in first / CACHELINE..last / CACHELINE {
+            self.clear_pending(line);
+        }
+    }
+
+    /// Simulates power loss: copies the persistent image over the volatile
+    /// one, discarding every pending line.
+    pub fn crash_into(&mut self, mem: &mut [u8]) {
+        mem.copy_from_slice(&self.persistent);
+        for w in &mut self.pending {
+            *w = 0;
+        }
+        self.pending_count = 0;
+    }
+
+    /// Read-only view of the persistent image (test helper).
+    pub fn persistent_image(&self) -> &[u8] {
+        &self.persistent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pending_until_flushed() {
+        let mut mem = vec![0u8; 256];
+        let mut sh = Shadow::new(256);
+        mem[0..4].copy_from_slice(&[1, 2, 3, 4]);
+        sh.mark_range(0, 4);
+        assert_eq!(sh.pending_lines(), 1);
+        assert_eq!(sh.persistent_image()[0], 0);
+        assert_eq!(sh.flush_range(&mem, 0, 4), 1);
+        assert_eq!(sh.pending_lines(), 0);
+        assert_eq!(sh.persistent_image()[0..4], [1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn crash_discards_pending() {
+        let mut mem = vec![0u8; 256];
+        let mut sh = Shadow::new(256);
+        mem[64] = 9;
+        sh.mark_range(64, 1);
+        mem[128] = 7;
+        sh.mark_range(128, 1);
+        sh.flush_range(&mem, 128, 1);
+        sh.crash_into(&mut mem);
+        assert_eq!(mem[64], 0, "unflushed store lost");
+        assert_eq!(mem[128], 7, "flushed store survives");
+        assert_eq!(sh.pending_lines(), 0);
+    }
+
+    #[test]
+    fn persist_now_is_immediately_durable() {
+        let mut mem = vec![0u8; 256];
+        let mut sh = Shadow::new(256);
+        mem[10..20].fill(5);
+        sh.persist_now(&mem, 10, 10);
+        sh.crash_into(&mut mem);
+        assert!(mem[10..20].iter().all(|&b| b == 5));
+    }
+
+    #[test]
+    fn persist_now_clears_prior_pending() {
+        let mut mem = vec![0u8; 256];
+        let mut sh = Shadow::new(256);
+        mem[0] = 1;
+        sh.mark_range(0, 1);
+        mem[1] = 2;
+        sh.persist_now(&mem, 0, 2);
+        assert_eq!(sh.pending_lines(), 0);
+    }
+
+    #[test]
+    fn flush_counts_only_pending_lines() {
+        let mem = vec![0u8; 512];
+        let mut sh = Shadow::new(512);
+        sh.mark_range(0, 1);
+        sh.mark_range(256, 1);
+        // Flushing the whole device persists exactly the two pending lines.
+        assert_eq!(sh.flush_range(&mem, 0, 512), 2);
+        assert_eq!(sh.flush_range(&mem, 0, 512), 0);
+    }
+}

@@ -1,0 +1,265 @@
+//! Block allocator.
+//!
+//! Like PMFS, the allocator's bitmap lives in DRAM and is only *persisted*
+//! on clean unmount (into the layout's bitmap region). After a crash the
+//! bitmap is rebuilt at mount by walking the inode table and every file's
+//! block tree, so block allocation never needs journaling — an allocated
+//! but unreachable block simply returns to the free pool on recovery.
+
+use fskit::{FsError, Result};
+use nvmm::{Cat, NvmmDevice, BLOCK_SIZE};
+use parking_lot::Mutex;
+
+use crate::layout::Layout;
+
+#[derive(Debug)]
+struct Inner {
+    /// One bit per device block; set = in use.
+    bitmap: Vec<u64>,
+    free: u64,
+    hint: u64,
+    data_start: u64,
+    total_blocks: u64,
+}
+
+/// DRAM-resident block allocator over the data area.
+#[derive(Debug)]
+pub struct Allocator {
+    inner: Mutex<Inner>,
+}
+
+impl Allocator {
+    /// Creates an allocator with every data block free and every metadata
+    /// block (superblock, journal, inode table, bitmap image) in use.
+    pub fn new_empty(layout: &Layout) -> Allocator {
+        let words = (layout.total_blocks as usize).div_ceil(64);
+        let mut inner = Inner {
+            bitmap: vec![0u64; words],
+            free: 0,
+            hint: layout.data_start,
+            data_start: layout.data_start,
+            total_blocks: layout.total_blocks,
+        };
+        for b in 0..layout.data_start {
+            inner.set(b);
+        }
+        inner.free = layout.data_blocks();
+        Allocator {
+            inner: Mutex::new(inner),
+        }
+    }
+
+    /// Allocates one block, returning its absolute block number.
+    pub fn alloc(&self) -> Result<u64> {
+        let mut inner = self.inner.lock();
+        if inner.free == 0 {
+            return Err(FsError::NoSpace);
+        }
+        let total = inner.total_blocks;
+        let start = inner.hint.max(inner.data_start);
+        let mut b = start;
+        loop {
+            if !inner.get(b) {
+                inner.set(b);
+                inner.free -= 1;
+                inner.hint = if b + 1 < total {
+                    b + 1
+                } else {
+                    inner.data_start
+                };
+                return Ok(b);
+            }
+            b += 1;
+            if b >= total {
+                b = inner.data_start;
+            }
+            if b == start {
+                // `free` said there was space; the bitmap disagrees.
+                return Err(FsError::Corrupted("allocator free count"));
+            }
+        }
+    }
+
+    /// Returns a block to the free pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is not currently allocated or is a metadata
+    /// block (double free / corruption bugs should fail loudly in tests).
+    pub fn free(&self, blk: u64) {
+        let mut inner = self.inner.lock();
+        assert!(
+            blk >= inner.data_start && blk < inner.total_blocks,
+            "freeing non-data block {blk}"
+        );
+        assert!(inner.get(blk), "double free of block {blk}");
+        inner.clear(blk);
+        inner.free += 1;
+        inner.hint = inner.hint.min(blk);
+    }
+
+    /// Marks a block as in use during the recovery walk.
+    pub fn mark_used(&self, blk: u64) {
+        let mut inner = self.inner.lock();
+        assert!(blk < inner.total_blocks, "mark_used out of range: {blk}");
+        if !inner.get(blk) {
+            inner.set(blk);
+            inner.free -= 1;
+        }
+    }
+
+    /// Number of free data blocks.
+    pub fn free_blocks(&self) -> u64 {
+        self.inner.lock().free
+    }
+
+    /// Persists the bitmap image into the layout's bitmap region (clean
+    /// unmount).
+    pub fn persist(&self, dev: &NvmmDevice, layout: &Layout) {
+        let inner = self.inner.lock();
+        let mut bytes: Vec<u8> = Vec::with_capacity(inner.bitmap.len() * 8);
+        for w in &inner.bitmap {
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        bytes.resize(layout.bitmap_blocks as usize * BLOCK_SIZE, 0);
+        dev.write_persist(Cat::Meta, Layout::block_off(layout.bitmap_start), &bytes);
+        dev.sfence();
+    }
+
+    /// Loads the persisted bitmap image (mount after clean unmount).
+    pub fn load(dev: &NvmmDevice, layout: &Layout) -> Allocator {
+        let words = (layout.total_blocks as usize).div_ceil(64);
+        let mut bytes = vec![0u8; words * 8];
+        dev.read(
+            Cat::Meta,
+            Layout::block_off(layout.bitmap_start),
+            &mut bytes,
+        );
+        let bitmap: Vec<u64> = bytes
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        let mut used = 0u64;
+        for (i, w) in bitmap.iter().enumerate() {
+            let base = i as u64 * 64;
+            for bit in 0..64 {
+                let b = base + bit;
+                if b >= layout.total_blocks {
+                    break;
+                }
+                if w & (1 << bit) != 0 && b >= layout.data_start {
+                    used += 1;
+                }
+            }
+        }
+        Allocator {
+            inner: Mutex::new(Inner {
+                bitmap,
+                free: layout.data_blocks() - used,
+                hint: layout.data_start,
+                data_start: layout.data_start,
+                total_blocks: layout.total_blocks,
+            }),
+        }
+    }
+}
+
+impl Inner {
+    fn get(&self, b: u64) -> bool {
+        self.bitmap[(b / 64) as usize] & (1 << (b % 64)) != 0
+    }
+
+    fn set(&mut self, b: u64) {
+        self.bitmap[(b / 64) as usize] |= 1 << (b % 64);
+    }
+
+    fn clear(&mut self, b: u64) {
+        self.bitmap[(b / 64) as usize] &= !(1 << (b % 64));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvmm::{CostModel, SimEnv};
+    use std::sync::Arc;
+
+    fn setup() -> (Arc<NvmmDevice>, Layout) {
+        let dev = NvmmDevice::new(SimEnv::new_virtual(CostModel::default()), 1024 * BLOCK_SIZE);
+        let layout = Layout::compute(1024, 16, 256).unwrap();
+        (dev, layout)
+    }
+
+    #[test]
+    fn alloc_free_roundtrip() {
+        let (_, layout) = setup();
+        let a = Allocator::new_empty(&layout);
+        let initial = a.free_blocks();
+        assert_eq!(initial, layout.data_blocks());
+        let b1 = a.alloc().unwrap();
+        let b2 = a.alloc().unwrap();
+        assert!(b1 >= layout.data_start);
+        assert_ne!(b1, b2);
+        assert_eq!(a.free_blocks(), initial - 2);
+        a.free(b1);
+        assert_eq!(a.free_blocks(), initial - 1);
+        // Freed block becomes allocatable again.
+        let b3 = a.alloc().unwrap();
+        assert_eq!(b3, b1);
+    }
+
+    #[test]
+    fn exhaustion_returns_nospace() {
+        let (_, layout) = setup();
+        let a = Allocator::new_empty(&layout);
+        for _ in 0..layout.data_blocks() {
+            a.alloc().unwrap();
+        }
+        assert_eq!(a.alloc(), Err(FsError::NoSpace));
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let (_, layout) = setup();
+        let a = Allocator::new_empty(&layout);
+        let b = a.alloc().unwrap();
+        a.free(b);
+        a.free(b);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-data block")]
+    fn freeing_metadata_block_panics() {
+        let (_, layout) = setup();
+        let a = Allocator::new_empty(&layout);
+        a.free(0);
+    }
+
+    #[test]
+    fn persist_load_roundtrip() {
+        let (dev, layout) = setup();
+        let a = Allocator::new_empty(&layout);
+        let b1 = a.alloc().unwrap();
+        let _b2 = a.alloc().unwrap();
+        let b3 = a.alloc().unwrap();
+        a.free(b3);
+        a.persist(&dev, &layout);
+        let loaded = Allocator::load(&dev, &layout);
+        assert_eq!(loaded.free_blocks(), a.free_blocks());
+        // b1 still allocated in the loaded map: freeing works, re-freeing
+        // would panic (checked indirectly by alloc not returning b1 first).
+        loaded.free(b1);
+        assert_eq!(loaded.free_blocks(), a.free_blocks() + 1);
+    }
+
+    #[test]
+    fn mark_used_is_idempotent() {
+        let (_, layout) = setup();
+        let a = Allocator::new_empty(&layout);
+        let before = a.free_blocks();
+        a.mark_used(layout.data_start + 5);
+        a.mark_used(layout.data_start + 5);
+        assert_eq!(a.free_blocks(), before - 1);
+    }
+}

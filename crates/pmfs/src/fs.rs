@@ -1,0 +1,679 @@
+//! The PMFS file system object: mount/mkfs/recovery, the namespace, and the
+//! [`FileSystem`] implementation.
+//!
+//! Locking model (documented order, coarse on purpose — metadata operations
+//! are not the bottleneck the paper studies):
+//!
+//! 1. `ns` — one mutex serializing namespace mutations (create, unlink,
+//!    mkdir, rmdir, rename) and their directory-entry edits.
+//! 2. per-inode `RwLock` — protects file size, block tree and data I/O.
+//! 3. journal internal mutex — leaf lock, taken inside transactions.
+
+use std::sync::Arc;
+
+use fskit::{
+    DirEntry, Fd, FdTable, FileSystem, FileType, FsError, MmapHandle, OpenFlags, Result, Stat,
+};
+use nvmm::{Cat, NvmmDevice, SimEnv};
+use parking_lot::Mutex;
+
+use crate::alloc::Allocator;
+use crate::dir;
+use crate::file;
+use crate::inode::{InodeCache, InodeHandle, InodeMem, INODE_CORE};
+use crate::journal::{Journal, RecoveryStats, TxHandle};
+use crate::layout::{self, Layout, ROOT_INO};
+use crate::mmap::PmfsMmap;
+use crate::tree;
+
+/// Format-time parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct PmfsOptions {
+    /// Journal region size in blocks (header + entries).
+    pub journal_blocks: u64,
+    /// Number of inode slots.
+    pub inode_count: u64,
+}
+
+impl Default for PmfsOptions {
+    fn default() -> Self {
+        PmfsOptions {
+            journal_blocks: 1024,
+            inode_count: 16384,
+        }
+    }
+}
+
+/// Per-open state.
+#[derive(Debug)]
+pub struct OpenFile {
+    /// Inode number of the open file.
+    pub ino: u64,
+    /// Flags the file was opened with.
+    pub flags: OpenFlags,
+    /// Shared inode state.
+    pub handle: Arc<InodeHandle>,
+}
+
+/// A mounted PMFS instance.
+pub struct Pmfs {
+    dev: Arc<NvmmDevice>,
+    env: Arc<SimEnv>,
+    layout: Layout,
+    journal: Journal,
+    alloc: Allocator,
+    icache: InodeCache,
+    fds: FdTable<OpenFile>,
+    ns: Mutex<()>,
+    recovery: RecoveryStats,
+}
+
+impl Pmfs {
+    /// Formats `dev` and mounts the fresh file system.
+    pub fn mkfs(dev: Arc<NvmmDevice>, opts: PmfsOptions) -> Result<Arc<Pmfs>> {
+        let total_blocks = (dev.len() / nvmm::BLOCK_SIZE) as u64;
+        let l = Layout::compute(total_blocks, opts.journal_blocks, opts.inode_count)?;
+        // Zero the metadata regions.
+        dev.zero_persist(
+            Cat::Meta,
+            Layout::block_off(l.journal_start),
+            ((l.data_start - l.journal_start) * nvmm::BLOCK_SIZE as u64) as usize,
+        );
+        Journal::format(&dev, &l);
+        // Root directory inode.
+        let root = InodeMem::new(FileType::Dir, 0);
+        dev.write_persist(Cat::Meta, l.inode_off(ROOT_INO), &root.encode());
+        dev.sfence();
+        // Fresh allocator image so a clean mount can load it.
+        Allocator::new_empty(&l).persist(&dev, &l);
+        layout::write_superblock(&dev, &l);
+        Self::mount(dev)
+    }
+
+    /// Mounts an existing file system, running journal recovery and (after
+    /// an unclean shutdown) the allocator rebuild walk.
+    pub fn mount(dev: Arc<NvmmDevice>) -> Result<Arc<Pmfs>> {
+        let (l, clean) = layout::read_superblock(&dev)?;
+        let recovery = Journal::recover(&dev, &l)?;
+        let icache = InodeCache::scan(&dev, &l)?;
+        let alloc = if clean {
+            Allocator::load(&dev, &l)
+        } else {
+            Self::rebuild_allocator(&dev, &l)?
+        };
+        layout::set_clean(&dev, false);
+        let journal = Journal::open(dev.clone(), &l)?;
+        let env = dev.env().clone();
+        Ok(Arc::new(Pmfs {
+            dev,
+            env,
+            layout: l,
+            journal,
+            alloc,
+            icache,
+            fds: FdTable::new(),
+            ns: Mutex::new(()),
+            recovery,
+        }))
+    }
+
+    fn rebuild_allocator(dev: &NvmmDevice, l: &Layout) -> Result<Allocator> {
+        let alloc = Allocator::new_empty(l);
+        let mut buf = [0u8; INODE_CORE];
+        for ino in 1..l.inode_count {
+            dev.read(Cat::Meta, l.inode_off(ino), &mut buf);
+            if let Some(mem) = InodeMem::decode(&buf)? {
+                tree::mark_all(dev, &mem, &mut |pblk| alloc.mark_used(pblk));
+            }
+        }
+        Ok(alloc)
+    }
+
+    /// Journal recovery statistics from mount (diagnostics).
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        self.recovery
+    }
+
+    // ----- layering API (used by HiNFS, which is built on these
+    // structures exactly as the paper built HiNFS inside PMFS) -----
+
+    /// The backing device.
+    pub fn device(&self) -> &Arc<NvmmDevice> {
+        &self.dev
+    }
+
+    /// The simulation environment.
+    pub fn env(&self) -> &Arc<SimEnv> {
+        &self.env
+    }
+
+    /// The metadata journal.
+    pub fn journal(&self) -> &Journal {
+        &self.journal
+    }
+
+    /// The block allocator.
+    pub fn allocator(&self) -> &Allocator {
+        &self.alloc
+    }
+
+    /// The on-device layout.
+    pub fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    /// Looks up the per-open state of a descriptor.
+    pub fn open_file(&self, fd: Fd) -> Result<Arc<OpenFile>> {
+        self.fds.get(fd)
+    }
+
+    /// Returns the shared handle of an inode.
+    pub fn inode(&self, ino: u64) -> Result<Arc<InodeHandle>> {
+        self.icache.get(&self.dev, &self.layout, ino)
+    }
+
+    /// Resolves a path to its inode handle.
+    pub fn resolve_path(&self, path: &str) -> Result<Arc<InodeHandle>> {
+        let comps = fskit::path::components(path)?;
+        self.resolve(&comps)
+    }
+
+    /// Journals the inode core's old image and persists the new one.
+    /// The change becomes crash-durable when the transaction commits.
+    pub fn log_write_inode(&self, tx: &TxHandle, ino: u64, mem: &InodeMem) -> Result<()> {
+        let off = self.layout.inode_off(ino);
+        self.journal.log_range(tx, off, INODE_CORE)?;
+        self.dev.write_persist(Cat::Meta, off, &mem.encode());
+        self.dev.sfence();
+        Ok(())
+    }
+
+    /// Free data blocks (for HiNFS's `Low_f`/`High_f` style policies and
+    /// workload sizing).
+    pub fn free_blocks(&self) -> u64 {
+        self.alloc.free_blocks()
+    }
+
+    // ----- namespace internals -----
+
+    fn resolve(&self, comps: &[&str]) -> Result<Arc<InodeHandle>> {
+        let mut h = self.inode(ROOT_INO)?;
+        for comp in comps {
+            let next = {
+                let state = h.state.read();
+                if state.ftype != FileType::Dir {
+                    return Err(FsError::NotADirectory);
+                }
+                dir::lookup(&self.dev, &state, comp)?
+                    .ok_or(FsError::NotFound)?
+                    .0
+            };
+            h = self.inode(next)?;
+        }
+        Ok(h)
+    }
+
+    fn resolve_parent<'p>(&self, path: &'p str) -> Result<(Arc<InodeHandle>, &'p str)> {
+        let (parent_comps, name) = fskit::path::split_parent(path)?;
+        let parent = self.resolve(&parent_comps)?;
+        if parent.state.read().ftype != FileType::Dir {
+            return Err(FsError::NotADirectory);
+        }
+        Ok((parent, name))
+    }
+
+    /// Creates a file or directory entry under `parent` (ns lock held).
+    fn create_node(
+        &self,
+        parent: &Arc<InodeHandle>,
+        name: &str,
+        ftype: FileType,
+    ) -> Result<Arc<InodeHandle>> {
+        let ino = self.icache.alloc_slot()?;
+        let tx = self.journal.begin()?;
+        let mem = InodeMem::new(ftype, self.env.now());
+        let res = (|| -> Result<()> {
+            self.log_write_inode(&tx, ino, &mem)?;
+            let mut pstate = parent.state.write();
+            dir::add(
+                &self.dev,
+                &self.journal,
+                &tx,
+                &self.alloc,
+                &mut pstate,
+                name,
+                ino,
+                ftype,
+            )?;
+            pstate.mtime = self.env.now();
+            let p = *pstate;
+            drop(pstate);
+            self.log_write_inode(&tx, parent.ino, &p)?;
+            Ok(())
+        })();
+        match res {
+            Ok(()) => {
+                self.journal.commit(tx);
+                Ok(self.icache.install(ino, mem))
+            }
+            Err(e) => {
+                self.journal.abort(tx);
+                self.icache.free_slot(ino);
+                Err(e)
+            }
+        }
+    }
+
+    /// Frees an unlinked inode once its last descriptor closes.
+    fn reap(&self, h: &Arc<InodeHandle>) -> Result<()> {
+        let tx = self.journal.begin()?;
+        {
+            let mut state = h.state.write();
+            self.journal
+                .log_range(&tx, self.layout.inode_off(h.ino), INODE_CORE)?;
+            file::free_all(&self.dev, &self.alloc, &mut state);
+            self.dev
+                .write_persist(Cat::Meta, self.layout.inode_off(h.ino), &[0u8; INODE_CORE]);
+            self.dev.sfence();
+        }
+        self.journal.commit(tx);
+        self.icache.free_slot(h.ino);
+        Ok(())
+    }
+
+    /// Unlink with the namespace lock already held (also used by rename's
+    /// replace path).
+    fn unlink_locked(&self, path: &str) -> Result<()> {
+        let (parent, name) = self.resolve_parent(path)?;
+        let (ino, ftype) = {
+            let pstate = parent.state.read();
+            dir::lookup(&self.dev, &pstate, name)?.ok_or(FsError::NotFound)?
+        };
+        if ftype != FileType::File {
+            return Err(FsError::IsADirectory);
+        }
+        let child = self.inode(ino)?;
+        let tx = self.journal.begin()?;
+        {
+            let mut pstate = parent.state.write();
+            dir::remove(&self.dev, &self.journal, &tx, &pstate, name)?;
+            pstate.mtime = self.env.now();
+            let p = *pstate;
+            drop(pstate);
+            self.log_write_inode(&tx, parent.ino, &p)?;
+        }
+        let freeable = {
+            let mut cstate = child.state.write();
+            cstate.nlink -= 1;
+            let freeable = cstate.nlink == 0 && *child.opens.lock() == 0;
+            if freeable {
+                // Free data and the inode slot in the same transaction.
+                self.journal
+                    .log_range(&tx, self.layout.inode_off(ino), INODE_CORE)?;
+                file::free_all(&self.dev, &self.alloc, &mut cstate);
+                self.dev
+                    .write_persist(Cat::Meta, self.layout.inode_off(ino), &[0u8; INODE_CORE]);
+                self.dev.sfence();
+            } else {
+                let snap = *cstate;
+                drop(cstate);
+                self.log_write_inode(&tx, ino, &snap)?;
+            }
+            freeable
+        };
+        self.journal.commit(tx);
+        if freeable {
+            self.icache.free_slot(ino);
+        }
+        Ok(())
+    }
+
+    /// Rmdir with the namespace lock already held.
+    fn rmdir_locked(&self, path: &str) -> Result<()> {
+        let (parent, name) = self.resolve_parent(path)?;
+        let (ino, ftype) = {
+            let pstate = parent.state.read();
+            dir::lookup(&self.dev, &pstate, name)?.ok_or(FsError::NotFound)?
+        };
+        if ftype != FileType::Dir {
+            return Err(FsError::NotADirectory);
+        }
+        let child = self.inode(ino)?;
+        if !dir::is_empty(&self.dev, &child.state.read())? {
+            return Err(FsError::DirectoryNotEmpty);
+        }
+        let tx = self.journal.begin()?;
+        {
+            let mut pstate = parent.state.write();
+            dir::remove(&self.dev, &self.journal, &tx, &pstate, name)?;
+            pstate.mtime = self.env.now();
+            let p = *pstate;
+            drop(pstate);
+            self.log_write_inode(&tx, parent.ino, &p)?;
+        }
+        {
+            let mut cstate = child.state.write();
+            self.journal
+                .log_range(&tx, self.layout.inode_off(ino), INODE_CORE)?;
+            file::free_all(&self.dev, &self.alloc, &mut cstate);
+            self.dev
+                .write_persist(Cat::Meta, self.layout.inode_off(ino), &[0u8; INODE_CORE]);
+            self.dev.sfence();
+        }
+        self.journal.commit(tx);
+        self.icache.free_slot(ino);
+        Ok(())
+    }
+}
+
+impl FileSystem for Pmfs {
+    fn name(&self) -> &'static str {
+        "pmfs"
+    }
+
+    fn open(&self, path: &str, flags: OpenFlags) -> Result<Fd> {
+        self.env.charge_syscall();
+        let _ns = self.ns.lock();
+        let (parent, name) = self.resolve_parent(path)?;
+        fskit::path::validate_name(name)?;
+        let existing = {
+            let pstate = parent.state.read();
+            if pstate.ftype != FileType::Dir {
+                return Err(FsError::NotADirectory);
+            }
+            dir::lookup(&self.dev, &pstate, name)?
+        };
+        let handle = match existing {
+            Some((_, FileType::Dir)) => return Err(FsError::IsADirectory),
+            Some((ino, FileType::File)) => {
+                if flags.contains(OpenFlags::CREATE) && flags.contains(OpenFlags::EXCL) {
+                    return Err(FsError::AlreadyExists);
+                }
+                self.inode(ino)?
+            }
+            None => {
+                if !flags.contains(OpenFlags::CREATE) {
+                    return Err(FsError::NotFound);
+                }
+                self.create_node(&parent, name, FileType::File)?
+            }
+        };
+        if flags.contains(OpenFlags::TRUNC) && flags.writable() {
+            let tx = self.journal.begin()?;
+            let mut state = handle.state.write();
+            if file::truncate(&self.dev, &self.alloc, &mut state, 0, self.env.now())? {
+                let snap = *state;
+                drop(state);
+                self.log_write_inode(&tx, handle.ino, &snap)?;
+            }
+            self.journal.commit(tx);
+        }
+        *handle.opens.lock() += 1;
+        Ok(self.fds.insert(OpenFile {
+            ino: handle.ino,
+            flags,
+            handle,
+        }))
+    }
+
+    fn close(&self, fd: Fd) -> Result<()> {
+        self.env.charge_syscall();
+        let of = self.fds.remove(fd)?;
+        let orphan = {
+            let mut opens = of.handle.opens.lock();
+            *opens -= 1;
+            *opens == 0 && of.handle.state.read().nlink == 0
+        };
+        if orphan {
+            self.reap(&of.handle)?;
+        }
+        Ok(())
+    }
+
+    fn read(&self, fd: Fd, off: u64, buf: &mut [u8]) -> Result<usize> {
+        self.env.charge_syscall();
+        let of = self.fds.get(fd)?;
+        if !of.flags.readable() {
+            return Err(FsError::BadFd);
+        }
+        let state = of.handle.state.read();
+        Ok(file::read_at(&self.dev, &state, off, buf))
+    }
+
+    fn write(&self, fd: Fd, off: u64, data: &[u8]) -> Result<usize> {
+        self.env.charge_syscall();
+        let of = self.fds.get(fd)?;
+        if !of.flags.writable() {
+            return Err(FsError::BadFd);
+        }
+        if of.flags.contains(OpenFlags::APPEND) {
+            return self.append(fd, data).map(|_| data.len());
+        }
+        let tx = self.journal.begin()?;
+        let mut state = of.handle.state.write();
+        file::write_at(
+            &self.dev,
+            &self.alloc,
+            &mut state,
+            off,
+            data,
+            self.env.now(),
+        )?;
+        let snap = *state;
+        drop(state);
+        self.log_write_inode(&tx, of.ino, &snap)?;
+        self.journal.commit(tx);
+        Ok(data.len())
+    }
+
+    fn append(&self, fd: Fd, data: &[u8]) -> Result<u64> {
+        self.env.charge_syscall();
+        let of = self.fds.get(fd)?;
+        if !of.flags.writable() {
+            return Err(FsError::BadFd);
+        }
+        let tx = self.journal.begin()?;
+        let mut state = of.handle.state.write();
+        let off = state.size;
+        file::write_at(
+            &self.dev,
+            &self.alloc,
+            &mut state,
+            off,
+            data,
+            self.env.now(),
+        )?;
+        let snap = *state;
+        drop(state);
+        self.log_write_inode(&tx, of.ino, &snap)?;
+        self.journal.commit(tx);
+        Ok(off)
+    }
+
+    fn fsync(&self, fd: Fd) -> Result<()> {
+        self.env.charge_syscall();
+        let of = self.fds.get(fd)?;
+        // Direct-access writes are already durable; fsync only fences and
+        // records the synchronization time.
+        of.handle.state.write().last_sync = self.env.now();
+        self.dev.sfence();
+        Ok(())
+    }
+
+    fn truncate(&self, fd: Fd, size: u64) -> Result<()> {
+        self.env.charge_syscall();
+        let of = self.fds.get(fd)?;
+        if !of.flags.writable() {
+            return Err(FsError::BadFd);
+        }
+        let tx = self.journal.begin()?;
+        let mut state = of.handle.state.write();
+        if file::truncate(&self.dev, &self.alloc, &mut state, size, self.env.now())? {
+            let snap = *state;
+            drop(state);
+            self.log_write_inode(&tx, of.ino, &snap)?;
+        }
+        self.journal.commit(tx);
+        Ok(())
+    }
+
+    fn unlink(&self, path: &str) -> Result<()> {
+        self.env.charge_syscall();
+        let _ns = self.ns.lock();
+        self.unlink_locked(path)
+    }
+
+    fn mkdir(&self, path: &str) -> Result<()> {
+        self.env.charge_syscall();
+        let _ns = self.ns.lock();
+        let (parent, name) = self.resolve_parent(path)?;
+        fskit::path::validate_name(name)?;
+        {
+            let pstate = parent.state.read();
+            if dir::lookup(&self.dev, &pstate, name)?.is_some() {
+                return Err(FsError::AlreadyExists);
+            }
+        }
+        self.create_node(&parent, name, FileType::Dir)?;
+        Ok(())
+    }
+
+    fn rmdir(&self, path: &str) -> Result<()> {
+        self.env.charge_syscall();
+        let _ns = self.ns.lock();
+        self.rmdir_locked(path)
+    }
+
+    fn readdir(&self, path: &str) -> Result<Vec<DirEntry>> {
+        self.env.charge_syscall();
+        let comps = fskit::path::components(path)?;
+        let h = self.resolve(&comps)?;
+        let state = h.state.read();
+        if state.ftype != FileType::Dir {
+            return Err(FsError::NotADirectory);
+        }
+        dir::list(&self.dev, &state)
+    }
+
+    fn stat(&self, path: &str) -> Result<Stat> {
+        self.env.charge_syscall();
+        let comps = fskit::path::components(path)?;
+        let h = self.resolve(&comps)?;
+        let s = h.state.read();
+        Ok(Stat {
+            ino: h.ino,
+            ftype: s.ftype,
+            size: s.size,
+            blocks: s.blocks,
+            nlink: s.nlink,
+            mtime_ns: s.mtime,
+        })
+    }
+
+    fn fstat(&self, fd: Fd) -> Result<Stat> {
+        self.env.charge_syscall();
+        let of = self.fds.get(fd)?;
+        let s = of.handle.state.read();
+        Ok(Stat {
+            ino: of.ino,
+            ftype: s.ftype,
+            size: s.size,
+            blocks: s.blocks,
+            nlink: s.nlink,
+            mtime_ns: s.mtime,
+        })
+    }
+
+    fn rename(&self, from: &str, to: &str) -> Result<()> {
+        self.env.charge_syscall();
+        let _ns = self.ns.lock();
+        let (src_parent, src_name) = self.resolve_parent(from)?;
+        let (dst_parent, dst_name) = self.resolve_parent(to)?;
+        fskit::path::validate_name(dst_name)?;
+        let (ino, ftype) = {
+            let pstate = src_parent.state.read();
+            dir::lookup(&self.dev, &pstate, src_name)?.ok_or(FsError::NotFound)?
+        };
+        // Replace semantics for an existing destination.
+        let dst_existing = {
+            let pstate = dst_parent.state.read();
+            dir::lookup(&self.dev, &pstate, dst_name)?
+        };
+        if let Some((dino, dftype)) = dst_existing {
+            if dino == ino {
+                return Ok(());
+            }
+            match (ftype, dftype) {
+                (FileType::File, FileType::File) => self.unlink_locked(to)?,
+                (FileType::Dir, FileType::Dir) => self.rmdir_locked(to)?,
+                (FileType::File, FileType::Dir) => return Err(FsError::IsADirectory),
+                (FileType::Dir, FileType::File) => return Err(FsError::NotADirectory),
+            }
+        }
+        let tx = self.journal.begin()?;
+        let same_parent = Arc::ptr_eq(&src_parent, &dst_parent);
+        {
+            let mut pstate = src_parent.state.write();
+            dir::remove(&self.dev, &self.journal, &tx, &pstate, src_name)?;
+            if same_parent {
+                dir::add(
+                    &self.dev,
+                    &self.journal,
+                    &tx,
+                    &self.alloc,
+                    &mut pstate,
+                    dst_name,
+                    ino,
+                    ftype,
+                )?;
+            }
+            pstate.mtime = self.env.now();
+            let p = *pstate;
+            drop(pstate);
+            self.log_write_inode(&tx, src_parent.ino, &p)?;
+        }
+        if !same_parent {
+            let mut pstate = dst_parent.state.write();
+            dir::add(
+                &self.dev,
+                &self.journal,
+                &tx,
+                &self.alloc,
+                &mut pstate,
+                dst_name,
+                ino,
+                ftype,
+            )?;
+            pstate.mtime = self.env.now();
+            let p = *pstate;
+            drop(pstate);
+            self.log_write_inode(&tx, dst_parent.ino, &p)?;
+        }
+        self.journal.commit(tx);
+        Ok(())
+    }
+
+    fn sync(&self) -> Result<()> {
+        self.env.charge_syscall();
+        self.dev.sfence();
+        Ok(())
+    }
+
+    fn unmount(&self) -> Result<()> {
+        self.env.charge_syscall();
+        debug_assert_eq!(self.journal.open_txs(), 0, "unmount with open transactions");
+        self.alloc.persist(&self.dev, &self.layout);
+        layout::set_clean(&self.dev, true);
+        Ok(())
+    }
+
+    fn mmap(&self, fd: Fd, off: u64, len: usize) -> Result<Arc<dyn MmapHandle>> {
+        self.env.charge_syscall();
+        let of = self.fds.get(fd)?;
+        let handle = PmfsMmap::new(self, &of, off, len)?;
+        Ok(Arc::new(handle))
+    }
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,449 @@
+use std::sync::Arc;
+
+use fskit::{FileSystem, FileType, FsError, OpenFlags};
+use nvmm::{Cat, CostModel, NvmmDevice, SimEnv, BLOCK_SIZE};
+
+use crate::fs::{Pmfs, PmfsOptions};
+
+fn small_opts() -> PmfsOptions {
+    PmfsOptions {
+        journal_blocks: 64,
+        inode_count: 512,
+    }
+}
+
+fn fresh() -> (Arc<NvmmDevice>, Arc<Pmfs>) {
+    let env = SimEnv::new_virtual(CostModel::default());
+    let dev = NvmmDevice::new_tracked(env, 16384 * BLOCK_SIZE);
+    let fs = Pmfs::mkfs(dev.clone(), small_opts()).unwrap();
+    (dev, fs)
+}
+
+fn rw_create() -> OpenFlags {
+    OpenFlags::RDWR | OpenFlags::CREATE
+}
+
+#[test]
+fn create_write_read_roundtrip() {
+    let (_d, fs) = fresh();
+    let fd = fs.open("/hello.txt", rw_create()).unwrap();
+    let data: Vec<u8> = (0..20_000u32).map(|i| (i % 256) as u8).collect();
+    assert_eq!(fs.write(fd, 0, &data).unwrap(), data.len());
+    let mut buf = vec![0u8; data.len()];
+    assert_eq!(fs.read(fd, 0, &mut buf).unwrap(), data.len());
+    assert_eq!(buf, data);
+    fs.close(fd).unwrap();
+    // Re-open and read again.
+    let fd = fs.open("/hello.txt", OpenFlags::READ).unwrap();
+    let mut buf2 = vec![0u8; data.len()];
+    fs.read(fd, 0, &mut buf2).unwrap();
+    assert_eq!(buf2, data);
+    fs.close(fd).unwrap();
+}
+
+#[test]
+fn open_flags_semantics() {
+    let (_d, fs) = fresh();
+    assert_eq!(fs.open("/nope", OpenFlags::READ), Err(FsError::NotFound));
+    let fd = fs.open("/f", rw_create()).unwrap();
+    fs.write(fd, 0, b"0123456789").unwrap();
+    fs.close(fd).unwrap();
+    assert_eq!(
+        fs.open("/f", rw_create() | OpenFlags::EXCL),
+        Err(FsError::AlreadyExists)
+    );
+    // O_TRUNC clears content.
+    let fd = fs.open("/f", OpenFlags::RDWR | OpenFlags::TRUNC).unwrap();
+    assert_eq!(fs.fstat(fd).unwrap().size, 0);
+    fs.close(fd).unwrap();
+    // Read-only descriptor cannot write.
+    let fd = fs.open("/f", OpenFlags::READ).unwrap();
+    assert_eq!(fs.write(fd, 0, b"x"), Err(FsError::BadFd));
+    fs.close(fd).unwrap();
+}
+
+#[test]
+fn append_mode_appends() {
+    let (_d, fs) = fresh();
+    let fd = fs.open("/log", rw_create() | OpenFlags::APPEND).unwrap();
+    assert_eq!(fs.append(fd, b"one").unwrap(), 0);
+    assert_eq!(fs.append(fd, b"two").unwrap(), 3);
+    // write() on an APPEND descriptor appends regardless of offset.
+    fs.write(fd, 0, b"three").unwrap();
+    let mut buf = [0u8; 11];
+    fs.read(fd, 0, &mut buf).unwrap();
+    assert_eq!(&buf, b"onetwothree");
+    fs.close(fd).unwrap();
+}
+
+#[test]
+fn directories_nest() {
+    let (_d, fs) = fresh();
+    fs.mkdir("/a").unwrap();
+    fs.mkdir("/a/b").unwrap();
+    fs.mkdir("/a/b/c").unwrap();
+    let fd = fs.open("/a/b/c/file", rw_create()).unwrap();
+    fs.write(fd, 0, b"deep").unwrap();
+    fs.close(fd).unwrap();
+    assert_eq!(fs.stat("/a/b/c/file").unwrap().size, 4);
+    assert_eq!(fs.mkdir("/a"), Err(FsError::AlreadyExists));
+    assert_eq!(fs.mkdir("/x/y"), Err(FsError::NotFound));
+    let names: Vec<String> = fs
+        .readdir("/a/b")
+        .unwrap()
+        .into_iter()
+        .map(|e| e.name)
+        .collect();
+    assert_eq!(names, vec!["c"]);
+}
+
+#[test]
+fn unlink_and_rmdir() {
+    let (_d, fs) = fresh();
+    fs.mkdir("/d").unwrap();
+    let fd = fs.open("/d/f", rw_create()).unwrap();
+    fs.write(fd, 0, &[1u8; 10_000]).unwrap();
+    fs.close(fd).unwrap();
+    let free_before = fs.free_blocks();
+    assert_eq!(fs.rmdir("/d"), Err(FsError::DirectoryNotEmpty));
+    fs.unlink("/d/f").unwrap();
+    assert!(fs.free_blocks() > free_before, "blocks freed on unlink");
+    assert_eq!(fs.stat("/d/f"), Err(FsError::NotFound));
+    fs.rmdir("/d").unwrap();
+    assert_eq!(fs.stat("/d"), Err(FsError::NotFound));
+    assert_eq!(fs.unlink("/d/f"), Err(FsError::NotFound));
+}
+
+#[test]
+fn unlinked_open_file_survives_until_close() {
+    let (_d, fs) = fresh();
+    let fd = fs.open("/tmpfile", rw_create()).unwrap();
+    fs.write(fd, 0, b"still here").unwrap();
+    fs.unlink("/tmpfile").unwrap();
+    assert_eq!(fs.stat("/tmpfile"), Err(FsError::NotFound));
+    let mut buf = [0u8; 10];
+    assert_eq!(fs.read(fd, 0, &mut buf).unwrap(), 10);
+    assert_eq!(&buf, b"still here");
+    let free_before = fs.free_blocks();
+    fs.close(fd).unwrap();
+    assert!(fs.free_blocks() > free_before, "freed at last close");
+}
+
+#[test]
+fn rename_moves_and_replaces() {
+    let (_d, fs) = fresh();
+    fs.mkdir("/src").unwrap();
+    fs.mkdir("/dst").unwrap();
+    let fd = fs.open("/src/a", rw_create()).unwrap();
+    fs.write(fd, 0, b"payload").unwrap();
+    fs.close(fd).unwrap();
+    fs.rename("/src/a", "/dst/b").unwrap();
+    assert_eq!(fs.stat("/src/a"), Err(FsError::NotFound));
+    assert_eq!(fs.stat("/dst/b").unwrap().size, 7);
+    // Replace an existing destination.
+    let fd = fs.open("/dst/victim", rw_create()).unwrap();
+    fs.write(fd, 0, b"old").unwrap();
+    fs.close(fd).unwrap();
+    fs.rename("/dst/b", "/dst/victim").unwrap();
+    assert_eq!(fs.stat("/dst/victim").unwrap().size, 7);
+    assert_eq!(fs.stat("/dst/b"), Err(FsError::NotFound));
+    // Same-directory rename.
+    fs.rename("/dst/victim", "/dst/final").unwrap();
+    assert_eq!(fs.stat("/dst/final").unwrap().size, 7);
+}
+
+#[test]
+fn stat_reports_metadata() {
+    let (_d, fs) = fresh();
+    let fd = fs.open("/s", rw_create()).unwrap();
+    fs.write(fd, 0, &[0u8; 5000]).unwrap();
+    fs.close(fd).unwrap();
+    let st = fs.stat("/s").unwrap();
+    assert_eq!(st.ftype, FileType::File);
+    assert_eq!(st.size, 5000);
+    assert_eq!(st.blocks, 2);
+    assert_eq!(st.nlink, 1);
+    let root = fs.stat("/").unwrap();
+    assert_eq!(root.ftype, FileType::Dir);
+}
+
+#[test]
+fn truncate_via_fd() {
+    let (_d, fs) = fresh();
+    let fd = fs.open("/t", rw_create()).unwrap();
+    fs.write(fd, 0, &[7u8; 10_000]).unwrap();
+    fs.truncate(fd, 100).unwrap();
+    assert_eq!(fs.fstat(fd).unwrap().size, 100);
+    fs.truncate(fd, 8000).unwrap();
+    let mut buf = vec![0xffu8; 8000];
+    fs.read(fd, 0, &mut buf).unwrap();
+    assert!(buf[..100].iter().all(|&b| b == 7));
+    assert!(buf[100..].iter().all(|&b| b == 0));
+    fs.close(fd).unwrap();
+}
+
+#[test]
+fn remount_after_clean_unmount() {
+    let (dev, fs) = fresh();
+    let fd = fs.open("/persisted", rw_create()).unwrap();
+    fs.write(fd, 0, b"across remount").unwrap();
+    fs.close(fd).unwrap();
+    let free = fs.free_blocks();
+    fs.unmount().unwrap();
+    drop(fs);
+    let fs2 = Pmfs::mount(dev).unwrap();
+    assert_eq!(fs2.free_blocks(), free, "clean mount loads allocator image");
+    let fd = fs2.open("/persisted", OpenFlags::READ).unwrap();
+    let mut buf = [0u8; 14];
+    fs2.read(fd, 0, &mut buf).unwrap();
+    assert_eq!(&buf, b"across remount");
+    fs2.close(fd).unwrap();
+}
+
+#[test]
+fn crash_recovery_preserves_committed_state() {
+    let (dev, fs) = fresh();
+    fs.mkdir("/dir").unwrap();
+    let fd = fs.open("/dir/f", rw_create()).unwrap();
+    fs.write(fd, 0, &[9u8; 12_000]).unwrap();
+    fs.close(fd).unwrap();
+    let free = fs.free_blocks();
+    // Crash without unmount.
+    dev.crash();
+    drop(fs);
+    let fs2 = Pmfs::mount(dev).unwrap();
+    let st = fs2.stat("/dir/f").unwrap();
+    assert_eq!(st.size, 12_000);
+    let fd = fs2.open("/dir/f", OpenFlags::READ).unwrap();
+    let mut buf = vec![0u8; 12_000];
+    fs2.read(fd, 0, &mut buf).unwrap();
+    assert!(buf.iter().all(|&b| b == 9));
+    fs2.close(fd).unwrap();
+    assert_eq!(
+        fs2.free_blocks(),
+        free,
+        "allocator rebuild matches pre-crash state"
+    );
+}
+
+#[test]
+fn allocator_rebuild_reclaims_leaks() {
+    // Simulate a crash that leaves an allocated-but-unreachable block by
+    // crashing right after mkfs and allocating behind the scenes.
+    let (dev, fs) = fresh();
+    let total_free = fs.free_blocks();
+    // Leak: allocate a block in DRAM only (no tree linkage), then crash.
+    let _leaked = fs.allocator().alloc().unwrap();
+    dev.crash();
+    drop(fs);
+    let fs2 = Pmfs::mount(dev).unwrap();
+    assert_eq!(fs2.free_blocks(), total_free, "leak reclaimed by rebuild");
+}
+
+#[test]
+fn fsync_is_cheap_for_direct_writes() {
+    let (_d, fs) = fresh();
+    let env = fs.env().clone();
+    let fd = fs.open("/f", rw_create()).unwrap();
+    fs.write(fd, 0, &[1u8; 4096]).unwrap();
+    env.set_now(1_000_000);
+    let t0 = env.now();
+    fs.fsync(fd).unwrap();
+    let dt = env.now() - t0;
+    // fsync costs only the syscall + a fence: data is already durable.
+    assert!(dt < 2 * env.cost().syscall_ns, "fsync took {dt} ns");
+    fs.close(fd).unwrap();
+}
+
+#[test]
+fn write_charges_nvmm_latency_read_does_not() {
+    let (_d, fs) = fresh();
+    let env = fs.env().clone();
+    let fd = fs.open("/f", rw_create()).unwrap();
+    env.set_now(0);
+    fs.write(fd, 0, &[1u8; BLOCK_SIZE]).unwrap();
+    let write_time = env.now();
+    // 64 lines of data at 200 ns plus overheads.
+    assert!(write_time >= env.cost().nvmm_persist_ns(64));
+    env.set_now(0);
+    let mut buf = [0u8; BLOCK_SIZE];
+    fs.read(fd, 0, &mut buf).unwrap();
+    let read_time = env.now();
+    assert!(
+        read_time < write_time / 4,
+        "read {read_time} ns vs write {write_time} ns: direct reads are DRAM-speed"
+    );
+    fs.close(fd).unwrap();
+}
+
+#[test]
+fn many_files_in_one_directory() {
+    let (_d, fs) = fresh();
+    for i in 0..200 {
+        let fd = fs.open(&format!("/file-{i:04}"), rw_create()).unwrap();
+        fs.write(fd, 0, format!("content {i}").as_bytes()).unwrap();
+        fs.close(fd).unwrap();
+    }
+    assert_eq!(fs.readdir("/").unwrap().len(), 200);
+    for i in (0..200).step_by(7) {
+        let st = fs.stat(&format!("/file-{i:04}")).unwrap();
+        assert_eq!(st.size, format!("content {i}").len() as u64);
+    }
+    for i in 0..200 {
+        fs.unlink(&format!("/file-{i:04}")).unwrap();
+    }
+    assert!(fs.readdir("/").unwrap().is_empty());
+}
+
+#[test]
+fn inode_exhaustion() {
+    let env = SimEnv::new_virtual(CostModel::default());
+    let dev = NvmmDevice::new(env, 16384 * BLOCK_SIZE);
+    let fs = Pmfs::mkfs(
+        dev,
+        PmfsOptions {
+            journal_blocks: 64,
+            inode_count: 16,
+        },
+    )
+    .unwrap();
+    let mut made = 0;
+    loop {
+        match fs.open(&format!("/f{made}"), rw_create()) {
+            Ok(fd) => {
+                fs.close(fd).unwrap();
+                made += 1;
+            }
+            Err(FsError::NoInodes) => break,
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+    assert_eq!(made, 14, "16 slots minus reserved ino 0 and root");
+    fs.unlink("/f0").unwrap();
+    let fd = fs.open("/again", rw_create()).unwrap();
+    fs.close(fd).unwrap();
+}
+
+#[test]
+fn device_fills_up() {
+    let env = SimEnv::new_virtual(CostModel::default());
+    let dev = NvmmDevice::new(env, 512 * BLOCK_SIZE);
+    let fs = Pmfs::mkfs(
+        dev,
+        PmfsOptions {
+            journal_blocks: 16,
+            inode_count: 64,
+        },
+    )
+    .unwrap();
+    let fd = fs.open("/big", rw_create()).unwrap();
+    let chunk = vec![1u8; 64 * BLOCK_SIZE];
+    let mut written = 0u64;
+    let err = loop {
+        match fs.write(fd, written, &chunk) {
+            Ok(n) => written += n as u64,
+            Err(e) => break e,
+        }
+    };
+    assert_eq!(err, FsError::NoSpace);
+    fs.close(fd).unwrap();
+}
+
+#[test]
+fn mmap_load_store_msync() {
+    let (dev, fs) = fresh();
+    let fd = fs.open("/mapped", rw_create()).unwrap();
+    fs.write(fd, 0, &[0xaau8; 2 * BLOCK_SIZE]).unwrap();
+    let map = fs.mmap(fd, 0, 2 * BLOCK_SIZE).unwrap();
+    let mut buf = [0u8; 16];
+    map.load(100, &mut buf).unwrap();
+    assert_eq!(buf, [0xaa; 16]);
+    map.store(100, &[0x55; 16]).unwrap();
+    map.load(100, &mut buf).unwrap();
+    assert_eq!(buf, [0x55; 16], "store visible before msync");
+    // Without msync the store is volatile.
+    let pending_before = dev.pending_lines();
+    assert!(pending_before > 0, "store left pending lines");
+    map.msync(0, 2 * BLOCK_SIZE).unwrap();
+    assert_eq!(dev.pending_lines(), 0, "msync flushed everything");
+    fs.close(fd).unwrap();
+}
+
+#[test]
+fn mmap_store_lost_without_msync() {
+    let (dev, fs) = fresh();
+    let fd = fs.open("/mapped", rw_create()).unwrap();
+    fs.write(fd, 0, &[1u8; BLOCK_SIZE]).unwrap();
+    let map = fs.mmap(fd, 0, BLOCK_SIZE).unwrap();
+    map.store(0, &[2u8; 64]).unwrap();
+    map.store(512, &[3u8; 64]).unwrap();
+    map.msync(512, 64).unwrap(); // only the second store
+    dev.crash();
+    let mut buf = [0u8; 64];
+    fs.read(fd, 0, &mut buf).unwrap();
+    assert_eq!(buf, [1u8; 64], "unsynced store lost on crash");
+    fs.read(fd, 512, &mut buf).unwrap();
+    assert_eq!(buf, [3u8; 64], "synced store survives");
+    fs.close(fd).unwrap();
+}
+
+#[test]
+fn mmap_rejects_out_of_file_range() {
+    let (_d, fs) = fresh();
+    let fd = fs.open("/m", rw_create()).unwrap();
+    fs.write(fd, 0, &[1u8; 100]).unwrap();
+    assert!(fs.mmap(fd, 0, 200).is_err());
+    let map = fs.mmap(fd, 0, 100).unwrap();
+    let mut b = [0u8; 50];
+    assert!(map.load(80, &mut b).is_err());
+    fs.close(fd).unwrap();
+}
+
+#[test]
+fn bad_fd_errors() {
+    let (_d, fs) = fresh();
+    let mut buf = [0u8; 4];
+    assert_eq!(fs.read(99, 0, &mut buf), Err(FsError::BadFd));
+    assert_eq!(fs.write(99, 0, &buf), Err(FsError::BadFd));
+    assert_eq!(fs.fsync(99), Err(FsError::BadFd));
+    assert_eq!(fs.close(99), Err(FsError::BadFd));
+}
+
+#[test]
+fn open_directory_rejected() {
+    let (_d, fs) = fresh();
+    fs.mkdir("/dir").unwrap();
+    assert_eq!(fs.open("/dir", OpenFlags::READ), Err(FsError::IsADirectory));
+    assert_eq!(fs.unlink("/dir"), Err(FsError::IsADirectory));
+    assert_eq!(
+        fs.rmdir("/"),
+        Err(FsError::InvalidArgument("root has no name"))
+    );
+}
+
+#[test]
+fn sparse_files_read_zero() {
+    let (_d, fs) = fresh();
+    let fd = fs.open("/sparse", rw_create()).unwrap();
+    fs.write(fd, 10 * BLOCK_SIZE as u64, b"end").unwrap();
+    let st = fs.fstat(fd).unwrap();
+    assert_eq!(st.size, 10 * BLOCK_SIZE as u64 + 3);
+    assert_eq!(st.blocks, 1);
+    let mut buf = vec![0xffu8; BLOCK_SIZE];
+    fs.read(fd, 0, &mut buf).unwrap();
+    assert!(buf.iter().all(|&b| b == 0));
+    fs.close(fd).unwrap();
+}
+
+#[test]
+fn journal_time_shows_up_in_ledger() {
+    let (_d, fs) = fresh();
+    nvmm::ledger::reset();
+    let fd = fs.open("/j", rw_create()).unwrap();
+    fs.write(fd, 0, &[1u8; 64]).unwrap();
+    fs.close(fd).unwrap();
+    let snap = nvmm::ledger::snapshot();
+    assert!(snap.get(Cat::Journal) > 0, "metadata writes were journaled");
+    assert!(snap.get(Cat::UserWrite) > 0);
+    assert!(snap.get(Cat::Syscall) > 0);
+}

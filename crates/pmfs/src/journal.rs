@@ -1,0 +1,698 @@
+//! Cacheline-granular metadata undo journal, after PMFS.
+//!
+//! The journal is a region of 64 B entries, each carrying up to 40 B of
+//! *old* metadata content, a generation number, and a valid flag written
+//! last (the paper leverages the architectural guarantee that stores to
+//! one cacheline are not reordered, so a persistent valid flag implies a
+//! complete entry).
+//!
+//! Like PMFS, the journal persists **no head or tail pointer** on the hot
+//! path — that is the point of the valid flag + generation design. Entries
+//! of the current generation are written contiguously from slot 0;
+//! recovery simply scans from slot 0 while it sees valid current-generation
+//! entries. When every transaction has resolved and the region is past
+//! half full, the generation number is bumped (one 8-byte persist) which
+//! retires every written entry at once.
+//!
+//! Transaction protocol (undo logging):
+//!
+//! 1. [`Journal::begin`] a transaction.
+//! 2. [`Journal::log_range`] the *current* content of every metadata range
+//!    about to change. Entries are flushed and fenced — only after that
+//!    may the caller overwrite the metadata in place (durably).
+//! 3. [`Journal::commit`] appends a commit entry. Until the commit entry is
+//!    persistent, recovery undoes the transaction.
+//!
+//! HiNFS's ordered data mode relies on the gap between steps 2 and 3: a
+//! lazy-persistent write logs and applies its metadata immediately but
+//! holds the [`TxHandle`] open until the background writeback has persisted
+//! the corresponding DRAM data blocks, and only then commits (paper §4.1).
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use fskit::{FsError, Result};
+use nvmm::{Cat, NvmmDevice, BLOCK_SIZE, CACHELINE};
+use parking_lot::Mutex;
+
+use crate::layout::Layout;
+
+/// Size of one log entry: one cacheline.
+pub const ENTRY_SIZE: usize = CACHELINE;
+
+/// Maximum undo payload per entry.
+pub const PAYLOAD: usize = 40;
+
+const KIND_UNDO: u8 = 1;
+const KIND_COMMIT: u8 = 2;
+const VALID_MAGIC: u8 = 0xA5;
+
+/// A decoded log entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Entry {
+    txid: u32,
+    kind: u8,
+    gen: u32,
+    addr: u64,
+    data: Vec<u8>,
+}
+
+fn checksum(buf: &[u8; ENTRY_SIZE]) -> u16 {
+    // Fletcher-style sum over the entry with the csum field (bytes 6..8)
+    // treated as zero.
+    let mut a: u32 = 0;
+    let mut b: u32 = 0;
+    for (i, &byte) in buf.iter().enumerate() {
+        let v = if (6..8).contains(&i) { 0 } else { byte as u32 };
+        a = (a + v) % 255;
+        b = (b + a) % 255;
+    }
+    ((b << 8) | a) as u16
+}
+
+fn encode(e: &Entry) -> [u8; ENTRY_SIZE] {
+    debug_assert!(e.data.len() <= PAYLOAD);
+    let mut buf = [0u8; ENTRY_SIZE];
+    buf[0..4].copy_from_slice(&e.txid.to_le_bytes());
+    buf[4] = e.kind;
+    buf[5] = e.data.len() as u8;
+    buf[8..16].copy_from_slice(&e.addr.to_le_bytes());
+    buf[16..16 + e.data.len()].copy_from_slice(&e.data);
+    buf[56..60].copy_from_slice(&e.gen.to_le_bytes());
+    buf[63] = VALID_MAGIC;
+    let c = checksum(&buf);
+    buf[6..8].copy_from_slice(&c.to_le_bytes());
+    buf
+}
+
+/// Decodes an entry slot; `Ok(None)` when the slot holds no valid entry
+/// (zeroed or torn).
+fn decode(buf: &[u8; ENTRY_SIZE]) -> Option<Entry> {
+    if buf[63] != VALID_MAGIC {
+        return None;
+    }
+    let mut copy = *buf;
+    copy[6] = 0;
+    copy[7] = 0;
+    let stored = u16::from_le_bytes([buf[6], buf[7]]);
+    if checksum(&copy) != stored {
+        return None;
+    }
+    let len = buf[5] as usize;
+    if len > PAYLOAD {
+        return None;
+    }
+    Some(Entry {
+        txid: u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]),
+        kind: buf[4],
+        gen: u32::from_le_bytes(buf[56..60].try_into().unwrap()),
+        addr: u64::from_le_bytes(buf[8..16].try_into().unwrap()),
+        data: buf[16..16 + len].to_vec(),
+    })
+}
+
+/// An open transaction. Must be resolved with [`Journal::commit`] or
+/// [`Journal::abort`]; dropping it leaks journal space until the next
+/// quiesce.
+#[must_use = "transactions must be committed or aborted"]
+#[derive(Debug)]
+pub struct TxHandle {
+    txid: u32,
+}
+
+impl TxHandle {
+    /// The transaction id (diagnostics).
+    pub fn txid(&self) -> u32 {
+        self.txid
+    }
+}
+
+#[derive(Debug)]
+struct TxRec {
+    txid: u32,
+    start: u64,
+    committed: bool,
+}
+
+#[derive(Debug)]
+struct JInner {
+    /// First entry that may belong to an unresolved transaction.
+    head: u64,
+    /// Next free entry slot (entries fill `0..tail` within a generation).
+    tail: u64,
+    /// Current generation (mirrors the persisted header field).
+    gen: u64,
+    next_txid: u32,
+    /// Open/uncollected transactions in begin order (txids ascend).
+    txs: VecDeque<TxRec>,
+}
+
+/// Statistics returned by [`Journal::recover`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecoveryStats {
+    /// Entries scanned in the live region.
+    pub scanned: u64,
+    /// Transactions that lacked a commit entry and were rolled back.
+    pub txs_undone: u64,
+    /// Undo entries applied.
+    pub entries_undone: u64,
+}
+
+/// The metadata undo journal.
+#[derive(Debug)]
+pub struct Journal {
+    dev: Arc<NvmmDevice>,
+    /// Byte offset of the journal header block.
+    hdr: u64,
+    /// Byte offset of the first entry.
+    area: u64,
+    /// Region capacity in entries (one generation's budget).
+    capacity: u64,
+    inner: Mutex<JInner>,
+}
+
+impl Journal {
+    /// Formats the journal region: generation 1, no entries.
+    pub fn format(dev: &NvmmDevice, layout: &Layout) {
+        let hdr = Layout::block_off(layout.journal_start);
+        dev.write_u64_persist(Cat::Journal, hdr, 1);
+        dev.sfence();
+        // Invalidate slot 0 so a scan of a freshly formatted region stops
+        // immediately.
+        dev.write_persist(Cat::Journal, hdr + BLOCK_SIZE as u64, &[0u8; ENTRY_SIZE]);
+        dev.sfence();
+    }
+
+    /// Opens the journal. Run [`Journal::recover`] first after any mount —
+    /// it leaves the region quiesced (fresh generation, no live entries).
+    pub fn open(dev: Arc<NvmmDevice>, layout: &Layout) -> Result<Journal> {
+        assert!(layout.journal_blocks >= 2, "journal needs header + entries");
+        let hdr = Layout::block_off(layout.journal_start);
+        let gen = dev.read_u64(Cat::Journal, hdr);
+        if gen == 0 {
+            return Err(FsError::Corrupted("journal generation"));
+        }
+        let capacity = (layout.journal_blocks - 1) * (BLOCK_SIZE / ENTRY_SIZE) as u64;
+        Ok(Journal {
+            area: hdr + BLOCK_SIZE as u64,
+            hdr,
+            capacity,
+            dev,
+            inner: Mutex::new(JInner {
+                head: 0,
+                tail: 0,
+                gen,
+                next_txid: 1,
+                txs: VecDeque::new(),
+            }),
+        })
+    }
+
+    /// Scans the current generation's entries and rolls back every
+    /// transaction without a commit entry, then bumps the generation
+    /// (retiring all entries at once). Run at mount, before
+    /// [`Journal::open`].
+    pub fn recover(dev: &NvmmDevice, layout: &Layout) -> Result<RecoveryStats> {
+        let hdr = Layout::block_off(layout.journal_start);
+        let area = hdr + BLOCK_SIZE as u64;
+        let capacity = (layout.journal_blocks - 1) * (BLOCK_SIZE / ENTRY_SIZE) as u64;
+        let gen = dev.read_u64(Cat::Journal, hdr);
+        if gen == 0 {
+            return Err(FsError::Corrupted("journal generation"));
+        }
+        let mut stats = RecoveryStats::default();
+        // Entries of the current generation are contiguous from slot 0;
+        // stop at the first slot that is invalid or from an older
+        // generation.
+        let mut committed: Vec<u32> = Vec::new();
+        let mut undo: Vec<(u32, u64, Vec<u8>)> = Vec::new();
+        for idx in 0..capacity {
+            let off = area + idx * ENTRY_SIZE as u64;
+            let mut buf = [0u8; ENTRY_SIZE];
+            dev.read(Cat::Journal, off, &mut buf);
+            let Some(e) = decode(&buf) else { break };
+            if e.gen as u64 != gen {
+                break;
+            }
+            stats.scanned += 1;
+            match e.kind {
+                KIND_COMMIT => committed.push(e.txid),
+                KIND_UNDO => undo.push((e.txid, e.addr, e.data)),
+                _ => return Err(FsError::Corrupted("journal entry kind")),
+            }
+        }
+        // Roll back uncommitted transactions: apply their undo entries in
+        // reverse append order so the oldest logged image wins.
+        for (txid, addr, data) in undo.iter().rev() {
+            if committed.contains(txid) {
+                continue;
+            }
+            dev.write_persist(Cat::Journal, *addr, data);
+            stats.entries_undone += 1;
+        }
+        let mut undone: Vec<u32> = undo
+            .iter()
+            .map(|(t, _, _)| *t)
+            .filter(|t| !committed.contains(t))
+            .collect();
+        undone.sort_unstable();
+        undone.dedup();
+        stats.txs_undone = undone.len() as u64;
+        dev.sfence();
+        // Retire every entry by bumping the generation (8-byte atomic).
+        dev.write_u64_persist(Cat::Journal, hdr, gen + 1);
+        dev.sfence();
+        Ok(stats)
+    }
+
+    /// Opens a new transaction. Fails with [`FsError::JournalFull`] when the
+    /// region cannot guarantee space for this transaction's commit entry.
+    pub fn begin(&self) -> Result<TxHandle> {
+        let mut inner = self.inner.lock();
+        if self.free_entries_locked(&inner) == 0 {
+            return Err(FsError::JournalFull);
+        }
+        let txid = inner.next_txid;
+        inner.next_txid = inner.next_txid.wrapping_add(1).max(1);
+        let start = inner.tail;
+        inner.txs.push_back(TxRec {
+            txid,
+            start,
+            committed: false,
+        });
+        Ok(TxHandle { txid })
+    }
+
+    fn free_entries_locked(&self, inner: &JInner) -> u64 {
+        let reserved = inner.txs.iter().filter(|t| !t.committed).count() as u64;
+        self.capacity.saturating_sub(inner.tail + reserved)
+    }
+
+    /// Entries currently available for new undo records.
+    pub fn free_entries(&self) -> u64 {
+        self.free_entries_locked(&self.inner.lock())
+    }
+
+    /// Number of transactions begun but not yet committed or aborted.
+    pub fn open_txs(&self) -> usize {
+        self.inner
+            .lock()
+            .txs
+            .iter()
+            .filter(|t| !t.committed)
+            .count()
+    }
+
+    /// The current journal generation (diagnostics).
+    pub fn generation(&self) -> u64 {
+        self.inner.lock().gen
+    }
+
+    fn append_locked(&self, inner: &mut JInner, e: &Entry) -> Result<()> {
+        if inner.tail >= self.capacity {
+            return Err(FsError::JournalFull);
+        }
+        let off = self.area + inner.tail * ENTRY_SIZE as u64;
+        let buf = encode(e);
+        self.dev.write_cached(Cat::Journal, off, &buf);
+        self.dev.clflush(Cat::Journal, off, ENTRY_SIZE);
+        inner.tail += 1;
+        Ok(())
+    }
+
+    /// Records the current content of `[addr, addr+len)` so it can be
+    /// rolled back if the transaction does not commit. Must be called
+    /// *before* the range is overwritten. On return the undo records are
+    /// durable; the caller may then update the metadata in place (durably).
+    pub fn log_range(&self, tx: &TxHandle, addr: u64, len: usize) -> Result<()> {
+        if len == 0 {
+            return Ok(());
+        }
+        let mut inner = self.inner.lock();
+        let needed = len.div_ceil(PAYLOAD) as u64;
+        if self.free_entries_locked(&inner) < needed {
+            return Err(FsError::JournalFull);
+        }
+        let gen = inner.gen as u32;
+        let mut off = addr;
+        let mut remaining = len;
+        while remaining > 0 {
+            let chunk = remaining.min(PAYLOAD);
+            let mut data = vec![0u8; chunk];
+            self.dev.read(Cat::Journal, off, &mut data);
+            self.append_locked(
+                &mut inner,
+                &Entry {
+                    txid: tx.txid,
+                    kind: KIND_UNDO,
+                    gen,
+                    addr: off,
+                    data,
+                },
+            )?;
+            off += chunk as u64;
+            remaining -= chunk;
+        }
+        // Entries durable (each slot was flushed) and ordered before the
+        // caller's in-place updates.
+        self.dev.sfence();
+        Ok(())
+    }
+
+    fn resolve_locked(&self, inner: &mut JInner, txid: u32) {
+        // Mark committed; txids ascend with begin order, so binary search.
+        let idx = inner.txs.partition_point(|t| t.txid < txid);
+        if idx < inner.txs.len() && inner.txs[idx].txid == txid {
+            inner.txs[idx].committed = true;
+        }
+        // Retire the longest committed prefix.
+        while inner.txs.front().is_some_and(|t| t.committed) {
+            inner.txs.pop_front();
+        }
+        inner.head = inner.txs.front().map_or(inner.tail, |t| t.start);
+        // Quiesce point: no live transactions and the region is past half
+        // full — retire the whole generation with one 8-byte persist.
+        if inner.txs.is_empty() && inner.tail > self.capacity / 2 {
+            inner.gen += 1;
+            inner.head = 0;
+            inner.tail = 0;
+            self.dev
+                .write_u64_persist(Cat::Journal, self.hdr, inner.gen);
+            self.dev.sfence();
+        }
+    }
+
+    /// Commits `tx`: after the commit entry is durable, recovery will never
+    /// roll the transaction back. The caller must have made its in-place
+    /// metadata updates durable before calling (PMFS writes metadata with
+    /// non-temporal stores, so this holds by construction).
+    pub fn commit(&self, tx: TxHandle) {
+        let mut inner = self.inner.lock();
+        self.dev.sfence();
+        let gen = inner.gen as u32;
+        // The commit-slot reservation in `begin`/`free_entries` guarantees
+        // space for this entry.
+        self.append_locked(
+            &mut inner,
+            &Entry {
+                txid: tx.txid,
+                kind: KIND_COMMIT,
+                gen,
+                addr: 0,
+                data: Vec::new(),
+            },
+        )
+        .expect("reserved commit slot");
+        self.dev.sfence();
+        self.resolve_locked(&mut inner, tx.txid);
+    }
+
+    /// Aborts `tx`: rolls back its logged ranges immediately and then
+    /// resolves it (a commit entry marks it resolved so recovery does not
+    /// undo it again — later transactions may have touched the same
+    /// ranges).
+    pub fn abort(&self, tx: TxHandle) {
+        let mut inner = self.inner.lock();
+        // Collect this tx's undo entries from the live region.
+        let mut to_undo: Vec<(u64, Vec<u8>)> = Vec::new();
+        let start = {
+            let idx = inner.txs.partition_point(|t| t.txid < tx.txid);
+            inner.txs.get(idx).map_or(inner.head, |t| t.start)
+        };
+        for idx in start..inner.tail {
+            let off = self.area + idx * ENTRY_SIZE as u64;
+            let mut buf = [0u8; ENTRY_SIZE];
+            self.dev.read(Cat::Journal, off, &mut buf);
+            if let Some(e) = decode(&buf) {
+                if e.txid == tx.txid && e.kind == KIND_UNDO {
+                    to_undo.push((e.addr, e.data));
+                }
+            }
+        }
+        for (addr, data) in to_undo.iter().rev() {
+            self.dev.write_persist(Cat::Journal, *addr, data);
+        }
+        self.dev.sfence();
+        let gen = inner.gen as u32;
+        self.append_locked(
+            &mut inner,
+            &Entry {
+                txid: tx.txid,
+                kind: KIND_COMMIT,
+                gen,
+                addr: 0,
+                data: Vec::new(),
+            },
+        )
+        .expect("reserved commit slot");
+        self.dev.sfence();
+        self.resolve_locked(&mut inner, tx.txid);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvmm::{CostModel, SimEnv};
+
+    fn setup() -> (Arc<NvmmDevice>, Layout) {
+        let dev =
+            NvmmDevice::new_tracked(SimEnv::new_virtual(CostModel::default()), 4096 * BLOCK_SIZE);
+        let layout = Layout::compute(4096, 64, 512).unwrap();
+        Journal::format(&dev, &layout);
+        (dev, layout)
+    }
+
+    fn data_off(layout: &Layout, blk: u64) -> u64 {
+        Layout::block_off(layout.data_start + blk)
+    }
+
+    #[test]
+    fn entry_encode_decode_roundtrip() {
+        let e = Entry {
+            txid: 7,
+            kind: KIND_UNDO,
+            gen: 3,
+            addr: 0x1234,
+            data: vec![9; 17],
+        };
+        let buf = encode(&e);
+        assert_eq!(decode(&buf), Some(e));
+    }
+
+    #[test]
+    fn corrupt_entry_rejected() {
+        let e = Entry {
+            txid: 7,
+            kind: KIND_UNDO,
+            gen: 1,
+            addr: 0x1234,
+            data: vec![9; 17],
+        };
+        let mut buf = encode(&e);
+        buf[20] ^= 0xff;
+        assert_eq!(decode(&buf), None);
+        let mut buf2 = encode(&e);
+        buf2[63] = 0;
+        assert_eq!(decode(&buf2), None);
+        assert_eq!(decode(&[0u8; ENTRY_SIZE]), None);
+    }
+
+    #[test]
+    fn committed_tx_survives_crash() {
+        let (dev, layout) = setup();
+        let j = Journal::open(dev.clone(), &layout).unwrap();
+        let target = data_off(&layout, 0);
+        dev.write_persist(Cat::Meta, target, &[1u8; 32]);
+
+        let tx = j.begin().unwrap();
+        j.log_range(&tx, target, 32).unwrap();
+        dev.write_persist(Cat::Meta, target, &[2u8; 32]);
+        j.commit(tx);
+
+        dev.crash();
+        let stats = Journal::recover(&dev, &layout).unwrap();
+        assert_eq!(stats.txs_undone, 0);
+        let mut buf = [0u8; 32];
+        dev.peek(target, &mut buf);
+        assert_eq!(buf, [2u8; 32], "committed update survives");
+    }
+
+    #[test]
+    fn uncommitted_tx_is_rolled_back() {
+        let (dev, layout) = setup();
+        let j = Journal::open(dev.clone(), &layout).unwrap();
+        let target = data_off(&layout, 1);
+        dev.write_persist(Cat::Meta, target, &[1u8; 100]);
+
+        let tx = j.begin().unwrap();
+        j.log_range(&tx, target, 100).unwrap();
+        dev.write_persist(Cat::Meta, target, &[2u8; 100]);
+        // No commit: crash.
+        drop(tx);
+        dev.crash();
+        let stats = Journal::recover(&dev, &layout).unwrap();
+        assert_eq!(stats.txs_undone, 1);
+        assert!(stats.entries_undone >= 3, "100 B needs 3 entries");
+        let mut buf = [0u8; 100];
+        dev.peek(target, &mut buf);
+        assert_eq!(buf, [1u8; 100], "uncommitted update rolled back");
+    }
+
+    #[test]
+    fn interleaved_txs_roll_back_independently() {
+        let (dev, layout) = setup();
+        let j = Journal::open(dev.clone(), &layout).unwrap();
+        let a_off = data_off(&layout, 2);
+        let b_off = data_off(&layout, 3);
+        dev.write_persist(Cat::Meta, a_off, &[0xa; 16]);
+        dev.write_persist(Cat::Meta, b_off, &[0xb; 16]);
+
+        let ta = j.begin().unwrap();
+        let tb = j.begin().unwrap();
+        j.log_range(&ta, a_off, 16).unwrap();
+        j.log_range(&tb, b_off, 16).unwrap();
+        dev.write_persist(Cat::Meta, a_off, &[0x1; 16]);
+        dev.write_persist(Cat::Meta, b_off, &[0x2; 16]);
+        j.commit(tb);
+        drop(ta); // crash with ta open
+        dev.crash();
+        Journal::recover(&dev, &layout).unwrap();
+        let mut a = [0u8; 16];
+        let mut b = [0u8; 16];
+        dev.peek(a_off, &mut a);
+        dev.peek(b_off, &mut b);
+        assert_eq!(a, [0xa; 16], "open tx rolled back");
+        assert_eq!(b, [0x2; 16], "committed tx preserved");
+    }
+
+    #[test]
+    fn abort_rolls_back_immediately() {
+        let (dev, layout) = setup();
+        let j = Journal::open(dev.clone(), &layout).unwrap();
+        let target = data_off(&layout, 4);
+        dev.write_persist(Cat::Meta, target, &[5u8; 40]);
+        let tx = j.begin().unwrap();
+        j.log_range(&tx, target, 40).unwrap();
+        dev.write_persist(Cat::Meta, target, &[6u8; 40]);
+        j.abort(tx);
+        let mut buf = [0u8; 40];
+        dev.peek(target, &mut buf);
+        assert_eq!(buf, [5u8; 40]);
+        // And recovery after a crash does not undo it again.
+        dev.write_persist(Cat::Meta, target, &[7u8; 40]);
+        dev.crash();
+        Journal::recover(&dev, &layout).unwrap();
+        dev.peek(target, &mut buf);
+        assert_eq!(buf, [7u8; 40]);
+    }
+
+    #[test]
+    fn generation_bump_reclaims_space() {
+        let (dev, layout) = setup();
+        let j = Journal::open(dev.clone(), &layout).unwrap();
+        let target = data_off(&layout, 5);
+        let initial = j.free_entries();
+        let gen0 = j.generation();
+        // Many sequential transactions must not exhaust the region: the
+        // quiesce points bump the generation and reset the fill.
+        for i in 0..initial * 2 {
+            let tx = j.begin().unwrap();
+            j.log_range(&tx, target + (i % 8) * 64, 40).unwrap();
+            j.commit(tx);
+        }
+        assert_eq!(j.open_txs(), 0);
+        assert!(j.generation() > gen0, "generation advanced at quiesce");
+        assert!(j.free_entries() > initial / 4, "space reclaimed");
+    }
+
+    #[test]
+    fn journal_full_reported() {
+        let (dev, layout) = setup();
+        let j = Journal::open(dev.clone(), &layout).unwrap();
+        let target = data_off(&layout, 6);
+        let tx = j.begin().unwrap();
+        let mut filled = false;
+        for i in 0.. {
+            match j.log_range(&tx, target + (i % 32) * 64, 40) {
+                Ok(()) => {}
+                Err(FsError::JournalFull) => {
+                    filled = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(filled, "open tx eventually fills the region");
+        // Commit still succeeds thanks to the reserved slot, and the
+        // quiesce point frees everything.
+        j.commit(tx);
+        assert!(j.free_entries() > 0);
+    }
+
+    #[test]
+    fn stale_generation_entries_are_ignored() {
+        let (dev, layout) = setup();
+        {
+            let j = Journal::open(dev.clone(), &layout).unwrap();
+            let tx = j.begin().unwrap();
+            j.log_range(&tx, data_off(&layout, 7), 8).unwrap();
+            j.commit(tx);
+        }
+        // First recovery retires generation 1.
+        let s1 = Journal::recover(&dev, &layout).unwrap();
+        assert_eq!(s1.scanned, 2);
+        // Second recovery sees only stale-generation entries: scans none.
+        let s2 = Journal::recover(&dev, &layout).unwrap();
+        assert_eq!(s2.scanned, 0);
+        assert_eq!(s2.txs_undone, 0);
+    }
+
+    #[test]
+    fn deferred_commit_matches_hinfs_ordered_mode() {
+        // A transaction may stay open across other transactions' lifetimes
+        // and commit later (HiNFS commits from the writeback path).
+        let (dev, layout) = setup();
+        let j = Journal::open(dev.clone(), &layout).unwrap();
+        let a = data_off(&layout, 8);
+        let b = data_off(&layout, 9);
+        dev.write_persist(Cat::Meta, a, &[1u8; 8]);
+        dev.write_persist(Cat::Meta, b, &[1u8; 8]);
+        let lazy = j.begin().unwrap();
+        j.log_range(&lazy, a, 8).unwrap();
+        dev.write_persist(Cat::Meta, a, &[2u8; 8]);
+        // An unrelated tx begins and commits while `lazy` is open.
+        let other = j.begin().unwrap();
+        j.log_range(&other, b, 8).unwrap();
+        dev.write_persist(Cat::Meta, b, &[3u8; 8]);
+        j.commit(other);
+        assert_eq!(j.open_txs(), 1);
+        // "Writeback finished": now commit the lazy tx.
+        j.commit(lazy);
+        dev.crash();
+        let stats = Journal::recover(&dev, &layout).unwrap();
+        assert_eq!(stats.txs_undone, 0);
+        let mut buf = [0u8; 8];
+        dev.peek(a, &mut buf);
+        assert_eq!(buf, [2u8; 8]);
+    }
+
+    #[test]
+    fn commit_costs_no_pointer_persists() {
+        // The hot path writes exactly: N undo entries + 1 commit entry (one
+        // line each) and nothing else — no head/tail publishing.
+        let (dev, layout) = setup();
+        let j = Journal::open(dev.clone(), &layout).unwrap();
+        let target = data_off(&layout, 10);
+        let before = dev.stats().snapshot();
+        let tx = j.begin().unwrap();
+        j.log_range(&tx, target, 40).unwrap(); // 1 undo entry
+        j.commit(tx);
+        let delta = dev.stats().snapshot().since(&before);
+        assert_eq!(
+            delta.nvmm_bytes_written,
+            2 * ENTRY_SIZE as u64,
+            "one undo + one commit line only"
+        );
+    }
+}

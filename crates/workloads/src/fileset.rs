@@ -1,0 +1,232 @@
+//! Filebench-style file sets: a directory tree populated with files of a
+//! given mean size, shared by the workload actors.
+
+use std::sync::Arc;
+
+use fskit::{FileSystem, OpenFlags, Result};
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Specification of a file set.
+#[derive(Debug, Clone)]
+pub struct FilesetSpec {
+    /// Root directory of the set.
+    pub root: String,
+    /// Number of files to preallocate.
+    pub nfiles: usize,
+    /// Files per directory (filebench `meandirwidth`).
+    pub dir_width: usize,
+    /// Mean file size in bytes (sizes are drawn uniformly from
+    /// 0.5×..1.5× the mean, a flat stand-in for filebench's gamma).
+    pub mean_size: usize,
+}
+
+impl FilesetSpec {
+    /// A spec with the given population and sizes.
+    pub fn new(root: &str, nfiles: usize, dir_width: usize, mean_size: usize) -> FilesetSpec {
+        FilesetSpec {
+            root: root.to_string(),
+            nfiles,
+            dir_width: dir_width.max(1),
+            mean_size,
+        }
+    }
+
+    /// Total bytes the populated set holds (the mean estimate).
+    pub fn dataset_bytes(&self) -> usize {
+        self.nfiles * self.mean_size
+    }
+}
+
+/// Shared, mutable state of a live file set.
+#[derive(Debug)]
+pub struct Fileset {
+    spec: FilesetSpec,
+    /// Live file paths.
+    files: Mutex<Vec<String>>,
+    /// Monotonic counter for fresh names.
+    next_id: Mutex<u64>,
+    ndirs: usize,
+}
+
+/// Draws a file size around the mean.
+pub fn draw_size(rng: &mut SmallRng, mean: usize) -> usize {
+    if mean == 0 {
+        return 0;
+    }
+    let half = (mean / 2).max(1);
+    mean - half + rng.gen_range(0..=2 * half)
+}
+
+impl Fileset {
+    /// Creates the directory tree and preallocates `nfiles` files with
+    /// content, returning the shared set. Deterministic for a given seed.
+    pub fn populate(fs: &dyn FileSystem, spec: FilesetSpec, seed: u64) -> Result<Arc<Fileset>> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let ndirs = spec.nfiles.div_ceil(spec.dir_width).max(1);
+        if fs.stat(&spec.root).is_err() {
+            fs.mkdir(&spec.root)?;
+        }
+        for d in 0..ndirs {
+            let dir = format!("{}/d{d:04}", spec.root);
+            if fs.stat(&dir).is_err() {
+                fs.mkdir(&dir)?;
+            }
+        }
+        let mut files = Vec::with_capacity(spec.nfiles);
+        let payload = vec![0xa5u8; spec.mean_size * 3 / 2 + 1];
+        for i in 0..spec.nfiles {
+            let path = format!("{}/d{:04}/f{i:06}", spec.root, i % ndirs);
+            let fd = fs.open(&path, OpenFlags::RDWR | OpenFlags::CREATE)?;
+            let size = draw_size(&mut rng, spec.mean_size);
+            if size > 0 {
+                fs.write(fd, 0, &payload[..size])?;
+            }
+            fs.close(fd)?;
+            files.push(path);
+        }
+        Ok(Arc::new(Fileset {
+            spec,
+            files: Mutex::new(files),
+            next_id: Mutex::new(0),
+            ndirs,
+        }))
+    }
+
+    /// The specification this set was built from.
+    pub fn spec(&self) -> &FilesetSpec {
+        &self.spec
+    }
+
+    /// Number of live files.
+    pub fn len(&self) -> usize {
+        self.files.lock().len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A uniformly random live file path.
+    pub fn pick(&self, rng: &mut SmallRng) -> Option<String> {
+        let files = self.files.lock();
+        if files.is_empty() {
+            return None;
+        }
+        Some(files[rng.gen_range(0..files.len())].clone())
+    }
+
+    /// A random path biased to the most recently created `frac` of the
+    /// set (temporal locality, e.g. webproxy's hot working set).
+    pub fn pick_recent(&self, rng: &mut SmallRng, frac: f64) -> Option<String> {
+        let files = self.files.lock();
+        if files.is_empty() {
+            return None;
+        }
+        let window = ((files.len() as f64 * frac) as usize).clamp(1, files.len());
+        let start = files.len() - window;
+        Some(files[start + rng.gen_range(0..window)].clone())
+    }
+
+    /// Removes and returns a random live path (the caller unlinks it).
+    pub fn take(&self, rng: &mut SmallRng) -> Option<String> {
+        let mut files = self.files.lock();
+        if files.is_empty() {
+            return None;
+        }
+        let i = rng.gen_range(0..files.len());
+        // `remove` keeps creation order intact for the recency helpers.
+        Some(files.remove(i))
+    }
+
+    /// Removes a path biased to the most recently created `frac` of the
+    /// set — webproxy-style *short-lived* files that die before their data
+    /// is ever written back.
+    pub fn take_recent(&self, rng: &mut SmallRng, frac: f64) -> Option<String> {
+        let mut files = self.files.lock();
+        if files.is_empty() {
+            return None;
+        }
+        let window = ((files.len() as f64 * frac) as usize).clamp(1, files.len());
+        let start = files.len() - window;
+        let i = start + rng.gen_range(0..window);
+        Some(files.remove(i))
+    }
+
+    /// Generates a fresh path in a random directory and registers it.
+    pub fn fresh(&self, rng: &mut SmallRng) -> String {
+        let mut id = self.next_id.lock();
+        *id += 1;
+        let d = rng.gen_range(0..self.ndirs);
+        let path = format!("{}/d{d:04}/n{:08}", self.spec.root, *id);
+        self.files.lock().push(path.clone());
+        path
+    }
+
+    /// Draws a file size from the set's distribution.
+    pub fn draw_size(&self, rng: &mut SmallRng) -> usize {
+        draw_size(rng, self.spec.mean_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvmm::{CostModel, NvmmDevice, SimEnv, BLOCK_SIZE};
+    use pmfs::{Pmfs, PmfsOptions};
+
+    fn fs() -> Arc<Pmfs> {
+        let env = SimEnv::new_virtual(CostModel::default());
+        let dev = NvmmDevice::new(env, 16384 * BLOCK_SIZE);
+        Pmfs::mkfs(
+            dev,
+            PmfsOptions {
+                journal_blocks: 64,
+                inode_count: 1024,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn populate_creates_population() {
+        let fs = fs();
+        let set = Fileset::populate(&*fs, FilesetSpec::new("/data", 50, 8, 8192), 1).unwrap();
+        assert_eq!(set.len(), 50);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let path = set.pick(&mut rng).unwrap();
+        let st = fs.stat(&path).unwrap();
+        assert!(
+            st.size >= 4096 && st.size <= 12288,
+            "size {} near mean",
+            st.size
+        );
+        // Directory structure exists.
+        assert!(fs.stat("/data/d0000").is_ok());
+    }
+
+    #[test]
+    fn take_and_fresh_track_population() {
+        let fs = fs();
+        let set = Fileset::populate(&*fs, FilesetSpec::new("/d", 10, 4, 100), 1).unwrap();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let victim = set.take(&mut rng).unwrap();
+        assert_eq!(set.len(), 9);
+        assert!(fs.stat(&victim).is_ok(), "take does not unlink by itself");
+        let fresh = set.fresh(&mut rng);
+        assert_eq!(set.len(), 10);
+        assert!(fresh.starts_with("/d/d"));
+    }
+
+    #[test]
+    fn sizes_are_deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(9);
+        let mut b = SmallRng::seed_from_u64(9);
+        let sa: Vec<usize> = (0..10).map(|_| draw_size(&mut a, 1000)).collect();
+        let sb: Vec<usize> = (0..10).map(|_| draw_size(&mut b, 1000)).collect();
+        assert_eq!(sa, sb);
+        assert!(sa.iter().all(|&s| (500..=1500).contains(&s)));
+    }
+}

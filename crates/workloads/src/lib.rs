@@ -1,0 +1,32 @@
+//! Workloads and the experiment runner for the HiNFS reproduction.
+//!
+//! Everything the paper's evaluation (§5) runs is generated here:
+//!
+//! | Paper workload | Module |
+//! |---|---|
+//! | Filebench fileserver / webserver / webproxy / varmail | [`filebench`] |
+//! | fio microbenchmark (Fig 1) | [`fio`] |
+//! | Postmark | [`postmark`] |
+//! | TPC-C (DBT2 on PostgreSQL) | [`tpcc`] (WAL-style transaction emulator) |
+//! | Kernel-Grep / Kernel-Make | [`kernel`] |
+//! | FIU Usr0/Usr1, LASR, MobiBench-Facebook traces | [`traces`] (synthetic generators matched to the published characteristics) |
+//!
+//! The [`runner`] executes logical actors against any [`fskit::FileSystem`]
+//! on the deterministic virtual clock (actors are scheduled by smallest
+//! clock; background machinery runs via `FileSystem::tick`) or on real
+//! threads in spin mode, and produces a [`metrics::RunReport`] with the
+//! per-op-type time breakdown the figures need.
+
+pub mod filebench;
+pub mod fileset;
+pub mod fio;
+pub mod kernel;
+pub mod metrics;
+pub mod postmark;
+pub mod runner;
+pub mod setups;
+pub mod tpcc;
+pub mod traces;
+
+pub use metrics::{OpKind, RunReport};
+pub use runner::{Actor, Ctx, RunLimit, Runner};

@@ -1,0 +1,96 @@
+//! Virtual time must be fully deterministic: identical seeds and configs
+//! produce bit-identical reports across independent simulated machines.
+//! Every figure in `EXPERIMENTS.md` depends on this property.
+
+use std::sync::Arc;
+
+use hinfs_suite::prelude::*;
+use workloads::filebench::{FilebenchParams, Fileserver, Varmail};
+use workloads::fileset::{Fileset, FilesetSpec};
+use workloads::setups::{build, SystemConfig, SystemKind};
+use workloads::traces::{TraceReplay, USR0};
+use workloads::RunReport;
+
+fn one_run(kind: SystemKind, seed: u64) -> RunReport {
+    let cfg = SystemConfig {
+        device_bytes: 64 << 20,
+        buffer_bytes: 2 << 20,
+        cache_pages: 512,
+        journal_blocks: 256,
+        inode_count: 4096,
+        ..SystemConfig::default()
+    };
+    let sys = build(kind, &cfg).unwrap();
+    let set = Fileset::populate(&*sys.fs, FilesetSpec::new("/d", 48, 10, 16 << 10), 7).unwrap();
+    sys.env.rebase();
+    let params = FilebenchParams {
+        iosize: 64 << 10,
+        append_size: 4 << 10,
+    };
+    let actors: Vec<Box<dyn Actor>> = vec![
+        Box::new(Fileserver::new(Arc::clone(&set), params)),
+        Box::new(Varmail::new(Arc::clone(&set), params)),
+        Box::new(TraceReplay::new(set, USR0, seed)),
+    ];
+    let r = Runner::new(sys.env.clone(), sys.fs.clone())
+        .with_device(sys.dev.clone())
+        .run(actors, RunLimit::duration_ms(100), seed);
+    sys.fs.unmount().unwrap();
+    r
+}
+
+fn assert_identical(a: &RunReport, b: &RunReport, label: &str) {
+    assert_eq!(a.elapsed_ns, b.elapsed_ns, "{label}: elapsed");
+    assert_eq!(a.metrics.steps, b.metrics.steps, "{label}: steps");
+    assert_eq!(
+        a.metrics.bytes_written, b.metrics.bytes_written,
+        "{label}: bytes written"
+    );
+    assert_eq!(
+        a.metrics.bytes_read, b.metrics.bytes_read,
+        "{label}: bytes read"
+    );
+    assert_eq!(
+        a.metrics.fsync_bytes, b.metrics.fsync_bytes,
+        "{label}: fsync bytes"
+    );
+    assert_eq!(
+        a.device.nvmm_bytes_written, b.device.nvmm_bytes_written,
+        "{label}: device writes"
+    );
+    assert_eq!(a.ledger, b.ledger, "{label}: ledger");
+    for op in workloads::metrics::ALL_OPS {
+        assert_eq!(a.op_ns(op), b.op_ns(op), "{label}: {} time", op.label());
+        assert_eq!(
+            a.op_count(op),
+            b.op_count(op),
+            "{label}: {} count",
+            op.label()
+        );
+    }
+}
+
+#[test]
+fn repeated_runs_are_bit_identical() {
+    for kind in [
+        SystemKind::Pmfs,
+        SystemKind::Hinfs,
+        SystemKind::Ext4Bd,
+        SystemKind::Ext4Dax,
+    ] {
+        let a = one_run(kind, 42);
+        let b = one_run(kind, 42);
+        assert_identical(&a, &b, kind.label());
+    }
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = one_run(SystemKind::Hinfs, 1);
+    let b = one_run(SystemKind::Hinfs, 2);
+    assert_ne!(
+        (a.elapsed_ns, a.metrics.bytes_written),
+        (b.elapsed_ns, b.metrics.bytes_written),
+        "seeded runs should explore different schedules"
+    );
+}

@@ -1,0 +1,173 @@
+//! Differential testing: the same operation sequence must produce the same
+//! observable file system state on every system in the workspace — PMFS,
+//! HiNFS (all variants), EXT4-DAX, and ext2/ext4 on NVMMBD all implement
+//! the same VFS contract.
+
+use hinfs_suite::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use workloads::setups::{build, SystemConfig, SystemKind};
+
+const ALL: [SystemKind; 7] = [
+    SystemKind::Pmfs,
+    SystemKind::Hinfs,
+    SystemKind::HinfsNclfw,
+    SystemKind::HinfsWb,
+    SystemKind::Ext4Dax,
+    SystemKind::Ext2Bd,
+    SystemKind::Ext4Bd,
+];
+
+fn cfg() -> SystemConfig {
+    SystemConfig {
+        device_bytes: 64 << 20,
+        buffer_bytes: 2 << 20,
+        cache_pages: 512,
+        journal_blocks: 256,
+        inode_count: 4096,
+        ..SystemConfig::default()
+    }
+}
+
+/// Drives one scripted mixed workload and returns the observable state:
+/// every file's full contents plus the directory listing.
+fn drive(fs: &dyn FileSystem) -> Vec<(String, Vec<u8>)> {
+    let mut rng = SmallRng::seed_from_u64(0xD1FF);
+    fs.mkdir("/a").unwrap();
+    fs.mkdir("/a/b").unwrap();
+    let mut files: Vec<(String, Fd)> = Vec::new();
+    for i in 0..12 {
+        let path = format!("/a/f{i}");
+        let fd = fs.open(&path, OpenFlags::RDWR | OpenFlags::CREATE).unwrap();
+        files.push((path, fd));
+    }
+    for step in 0..300 {
+        let (path, fd) = &files[rng.gen_range(0..files.len())];
+        let _ = path;
+        match rng.gen_range(0..10) {
+            0..=4 => {
+                let off = rng.gen_range(0..96 * 1024u64);
+                let len = rng.gen_range(1..9000usize);
+                let val = (step % 251) as u8;
+                fs.write(*fd, off, &vec![val; len]).unwrap();
+            }
+            5..=6 => {
+                let data = vec![(step % 7) as u8; rng.gen_range(1..5000)];
+                fs.append(*fd, &data).unwrap();
+            }
+            7 => {
+                fs.fsync(*fd).unwrap();
+            }
+            8 => {
+                let size = rng.gen_range(0..64 * 1024u64);
+                fs.truncate(*fd, size).unwrap();
+            }
+            _ => {
+                let mut buf = vec![0u8; 4096];
+                let off = rng.gen_range(0..64 * 1024u64);
+                let _ = fs.read(*fd, off, &mut buf).unwrap();
+            }
+        }
+        fs.tick((step as u64 + 1) * 50_000);
+    }
+    // Rename and unlink a couple of files.
+    fs.rename("/a/f0", "/a/b/renamed").unwrap();
+    fs.unlink("/a/f1").unwrap();
+    // Collect state.
+    let mut state = Vec::new();
+    let mut stack = vec!["".to_string()];
+    while let Some(dir) = stack.pop() {
+        let path = if dir.is_empty() {
+            "/".into()
+        } else {
+            dir.clone()
+        };
+        let mut entries = fs.readdir(&path).unwrap();
+        entries.sort_by(|a, b| a.name.cmp(&b.name));
+        for e in entries {
+            let child = format!("{dir}/{}", e.name);
+            match e.ftype {
+                FileType::Dir => stack.push(child),
+                FileType::File => {
+                    let st = fs.stat(&child).unwrap();
+                    let fd = fs.open(&child, OpenFlags::READ).unwrap();
+                    let mut content = vec![0u8; st.size as usize];
+                    let n = fs.read(fd, 0, &mut content).unwrap();
+                    assert_eq!(n as u64, st.size);
+                    fs.close(fd).unwrap();
+                    state.push((child, content));
+                }
+            }
+        }
+    }
+    state.sort();
+    state
+}
+
+#[test]
+fn all_systems_agree_on_the_same_script() {
+    let reference = {
+        let sys = build(SystemKind::Pmfs, &cfg()).unwrap();
+        let state = drive(&*sys.fs);
+        sys.fs.unmount().unwrap();
+        state
+    };
+    assert!(!reference.is_empty());
+    for kind in ALL.into_iter().skip(1) {
+        let sys = build(kind, &cfg()).unwrap();
+        let state = drive(&*sys.fs);
+        sys.fs.unmount().unwrap();
+        assert_eq!(
+            state.len(),
+            reference.len(),
+            "{}: file count differs",
+            kind.label()
+        );
+        for (got, want) in state.iter().zip(&reference) {
+            assert_eq!(got.0, want.0, "{}: path mismatch", kind.label());
+            assert_eq!(
+                got.1.len(),
+                want.1.len(),
+                "{}: size mismatch for {}",
+                kind.label(),
+                got.0
+            );
+            assert_eq!(
+                got.1,
+                want.1,
+                "{}: content mismatch for {}",
+                kind.label(),
+                got.0
+            );
+        }
+    }
+}
+
+#[test]
+fn state_survives_remount_on_every_system() {
+    for kind in ALL {
+        let sys = build(kind, &cfg()).unwrap();
+        let state = drive(&*sys.fs);
+        sys.fs.unmount().unwrap();
+        let sys2 = workloads::setups::remount_with(kind, sys.dev, sys.env, &cfg()).unwrap();
+        // Re-collect and compare contents after a cold remount.
+        for (path, want) in &state {
+            let st = sys2.fs.stat(path).unwrap_or_else(|e| {
+                panic!("{}: {} missing after remount: {e}", kind.label(), path)
+            });
+            assert_eq!(st.size as usize, want.len(), "{}: {}", kind.label(), path);
+            let fd = sys2.fs.open(path, OpenFlags::READ).unwrap();
+            let mut got = vec![0u8; want.len()];
+            sys2.fs.read(fd, 0, &mut got).unwrap();
+            sys2.fs.close(fd).unwrap();
+            assert_eq!(
+                &got,
+                want,
+                "{}: {} content after remount",
+                kind.label(),
+                path
+            );
+        }
+        sys2.fs.unmount().unwrap();
+    }
+}

@@ -1,0 +1,189 @@
+//! Property-based model testing: random operation sequences against an
+//! in-memory reference model, on HiNFS and the ext4 baseline. Catches
+//! read-consistency bugs in the DRAM/NVMM stitching and the page cache.
+
+use std::collections::HashMap;
+
+use hinfs_suite::prelude::*;
+use proptest::prelude::*;
+use workloads::setups::{build, SystemConfig, SystemKind};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write {
+        file: u8,
+        off: u16,
+        len: u16,
+        val: u8,
+    },
+    Append {
+        file: u8,
+        len: u16,
+        val: u8,
+    },
+    Read {
+        file: u8,
+        off: u16,
+        len: u16,
+    },
+    Truncate {
+        file: u8,
+        size: u16,
+    },
+    Fsync {
+        file: u8,
+    },
+    Tick,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0u8..4, 0u16..16000, 1u16..4000, any::<u8>())
+            .prop_map(|(file, off, len, val)| Op::Write { file, off, len, val }),
+        2 => (0u8..4, 1u16..4000, any::<u8>())
+            .prop_map(|(file, len, val)| Op::Append { file, len, val }),
+        3 => (0u8..4, 0u16..20000, 1u16..4000)
+            .prop_map(|(file, off, len)| Op::Read { file, off, len }),
+        1 => (0u8..4, 0u16..16000).prop_map(|(file, size)| Op::Truncate { file, size }),
+        1 => (0u8..4).prop_map(|file| Op::Fsync { file }),
+        1 => Just(Op::Tick),
+    ]
+}
+
+/// The in-memory reference: path -> contents.
+#[derive(Default)]
+struct Model {
+    files: HashMap<u8, Vec<u8>>,
+}
+
+impl Model {
+    fn write(&mut self, file: u8, off: usize, data: &[u8]) {
+        let img = self.files.entry(file).or_default();
+        if img.len() < off + data.len() {
+            img.resize(off + data.len(), 0);
+        }
+        img[off..off + data.len()].copy_from_slice(data);
+    }
+
+    fn read(&self, file: u8, off: usize, len: usize) -> Vec<u8> {
+        let img = self.files.get(&file).map(|v| v.as_slice()).unwrap_or(&[]);
+        if off >= img.len() {
+            return Vec::new();
+        }
+        img[off..(off + len).min(img.len())].to_vec()
+    }
+
+    fn truncate(&mut self, file: u8, size: usize) {
+        self.files.entry(file).or_default().resize(size, 0);
+    }
+}
+
+fn check_ops(kind: SystemKind, ops: &[Op]) {
+    let cfg = SystemConfig {
+        device_bytes: 32 << 20,
+        // Tiny buffer/cache so eviction and refetch paths run constantly.
+        buffer_bytes: 64 << 12,
+        cache_pages: 64,
+        journal_blocks: 256,
+        inode_count: 512,
+        ..SystemConfig::default()
+    };
+    let sys = build(kind, &cfg).unwrap();
+    let fs = &sys.fs;
+    let mut model = Model::default();
+    let mut fds = HashMap::new();
+    for file in 0u8..4 {
+        let fd = fs
+            .open(&format!("/p{file}"), OpenFlags::RDWR | OpenFlags::CREATE)
+            .unwrap();
+        fds.insert(file, fd);
+    }
+    let mut now = 0u64;
+    for op in ops {
+        now += 100_000;
+        match *op {
+            Op::Write {
+                file,
+                off,
+                len,
+                val,
+            } => {
+                let data = vec![val; len as usize];
+                fs.write(fds[&file], off as u64, &data).unwrap();
+                model.write(file, off as usize, &data);
+            }
+            Op::Append { file, len, val } => {
+                let data = vec![val; len as usize];
+                let off = fs.append(fds[&file], &data).unwrap();
+                assert_eq!(
+                    off as usize,
+                    model.files.get(&file).map_or(0, |v| v.len()),
+                    "{}: append offset",
+                    kind.label()
+                );
+                let end = model.files.get(&file).map_or(0, |v| v.len());
+                model.write(file, end, &data);
+            }
+            Op::Read { file, off, len } => {
+                let mut buf = vec![0xAAu8; len as usize];
+                let n = fs.read(fds[&file], off as u64, &mut buf).unwrap();
+                let want = model.read(file, off as usize, len as usize);
+                assert_eq!(n, want.len(), "{}: read length", kind.label());
+                assert_eq!(&buf[..n], &want[..], "{}: read content", kind.label());
+            }
+            Op::Truncate { file, size } => {
+                fs.truncate(fds[&file], size as u64).unwrap();
+                model.truncate(file, size as usize);
+            }
+            Op::Fsync { file } => {
+                fs.fsync(fds[&file]).unwrap();
+            }
+            Op::Tick => fs.tick(now),
+        }
+        // Size invariant after every op.
+        for (file, fd) in &fds {
+            let want = model.files.get(file).map_or(0, |v| v.len()) as u64;
+            assert_eq!(
+                fs.fstat(*fd).unwrap().size,
+                want,
+                "{}: size of /p{file}",
+                kind.label()
+            );
+        }
+    }
+    // Full-content check at the end.
+    for (file, fd) in &fds {
+        let want = model.files.get(file).cloned().unwrap_or_default();
+        let mut got = vec![0u8; want.len()];
+        fs.read(*fd, 0, &mut got).unwrap();
+        assert_eq!(got, want, "{}: final content of /p{file}", kind.label());
+        fs.close(*fd).unwrap();
+    }
+    fs.unmount().unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24, ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn hinfs_matches_model(ops in prop::collection::vec(op_strategy(), 1..60)) {
+        check_ops(SystemKind::Hinfs, &ops);
+    }
+
+    #[test]
+    fn hinfs_nclfw_matches_model(ops in prop::collection::vec(op_strategy(), 1..40)) {
+        check_ops(SystemKind::HinfsNclfw, &ops);
+    }
+
+    #[test]
+    fn ext4_matches_model(ops in prop::collection::vec(op_strategy(), 1..40)) {
+        check_ops(SystemKind::Ext4Bd, &ops);
+    }
+
+    #[test]
+    fn pmfs_matches_model(ops in prop::collection::vec(op_strategy(), 1..40)) {
+        check_ops(SystemKind::Pmfs, &ops);
+    }
+}
