@@ -24,6 +24,7 @@ fn spin_config() -> SystemConfig {
             nvmm_write_latency_ns: 200,
             ..CostModel::default()
         },
+        ..SystemConfig::default()
     }
 }
 

@@ -98,12 +98,12 @@ impl BufferCache {
         &self.bd
     }
 
-    fn page<'a>(inner: &'a Inner, slot: u32) -> &'a [u8] {
+    fn page(inner: &Inner, slot: u32) -> &[u8] {
         let b = slot as usize * BLOCK_SIZE;
         &inner.data[b..b + BLOCK_SIZE]
     }
 
-    fn page_mut<'a>(inner: &'a mut Inner, slot: u32) -> &'a mut [u8] {
+    fn page_mut(inner: &mut Inner, slot: u32) -> &mut [u8] {
         let b = slot as usize * BLOCK_SIZE;
         &mut inner.data[b..b + BLOCK_SIZE]
     }

@@ -73,6 +73,7 @@ pub fn is_empty(cache: &BufferCache, mem: &ExtInodeMem) -> Result<bool> {
 }
 
 /// Adds `name -> ino` (caller verified absence and holds the dir lock).
+#[allow(clippy::too_many_arguments)]
 pub fn add(
     cache: &BufferCache,
     jbd: &Jbd,

@@ -13,6 +13,7 @@ use std::sync::Arc;
 use blockdev::Nvmmbd;
 use fskit::{DirEntry, Fd, FdTable, FileSystem, FileType, FsError, OpenFlags, Result, Stat};
 use nvmm::{Cat, NvmmDevice, SimEnv, BLOCK_SIZE};
+use obsv::{FsObs, OpKind, TraceEvent};
 use parking_lot::Mutex;
 
 use crate::alloc::DiskBitmap;
@@ -78,6 +79,7 @@ pub struct Extfs {
     last_commit: AtomicU64,
     /// Device data blocks dirtied per inode, for ordered-mode fsync.
     dirty_data: Mutex<HashMap<u64, HashSet<u64>>>,
+    obs: Arc<FsObs>,
 }
 
 impl Extfs {
@@ -154,12 +156,46 @@ impl Extfs {
             opts,
             last_commit: AtomicU64::new(0),
             dirty_data: Mutex::new(HashMap::new()),
+            obs: Arc::new(FsObs::default()),
         }))
     }
 
     /// The buffer cache (diagnostics).
     pub fn cache(&self) -> &BufferCache {
         &self.cache
+    }
+
+    /// Latency histograms, slow-op log and trace ring.
+    pub fn obs(&self) -> &Arc<FsObs> {
+        &self.obs
+    }
+
+    /// Runs `f` as operation `op`, recording its latency when timing is
+    /// enabled (one relaxed load otherwise).
+    fn timed<T>(&self, op: OpKind, f: impl FnOnce() -> Result<T>) -> Result<T> {
+        if !self.obs.timing_enabled() {
+            return f();
+        }
+        let start = self.env.now();
+        let r = f();
+        let end = self.env.now();
+        self.obs.record_op(op, end.saturating_sub(start), start);
+        r
+    }
+
+    /// Commits the running jbd transaction, tracing the commit when it
+    /// actually wrote something.
+    fn jbd_commit(&self) {
+        let pending = self.jbd.running_len() as u64;
+        self.jbd.commit(&self.cache);
+        if pending > 0 {
+            self.obs
+                .trace
+                .emit(self.now(), || TraceEvent::JournalCommit {
+                    txid: self.jbd.commits(),
+                    log_entries: pending,
+                });
+        }
     }
 
     /// The block device (diagnostics).
@@ -462,18 +498,21 @@ impl Extfs {
     /// fsync core: flush the file's data pages (ordered mode), then commit
     /// the journal (ext4/dax) or flush its inode block (ext2).
     fn fsync_ino(&self, ino: u64) -> Result<()> {
-        let blocks: Vec<u64> = {
+        let mut blocks: Vec<u64> = {
             let mut dd = self.dirty_data.lock();
             match dd.get_mut(&ino) {
                 Some(set) => set.drain().collect(),
                 None => Vec::new(),
             }
         };
+        // The set iterates in hash order; flush in block order so the
+        // journal and device see a run-independent sequence.
+        blocks.sort_unstable();
         for blk in blocks {
             self.cache.flush_block(blk);
         }
         if self.jbd.enabled() {
-            self.jbd.commit(&self.cache);
+            self.jbd_commit();
         } else {
             // ext2: push the inode block too, then barrier.
             let (iblk, _) = self.layout.inode_loc(ino);
@@ -482,14 +521,8 @@ impl Extfs {
         self.bd.flush();
         Ok(())
     }
-}
 
-impl FileSystem for Extfs {
-    fn name(&self) -> &'static str {
-        self.mode.name()
-    }
-
-    fn open(&self, path: &str, flags: OpenFlags) -> Result<Fd> {
+    fn open_impl(&self, path: &str, flags: OpenFlags) -> Result<Fd> {
         self.env.charge_syscall();
         let _ns = self.ns.lock();
         let (parent, name) = self.resolve_parent(path)?;
@@ -537,39 +570,7 @@ impl FileSystem for Extfs {
         }))
     }
 
-    fn close(&self, fd: Fd) -> Result<()> {
-        self.env.charge_syscall();
-        let of = self.fds.remove(fd)?;
-        let orphan = {
-            let mut opens = of.handle.opens.lock();
-            *opens -= 1;
-            *opens == 0 && of.handle.state.read().nlink == 0
-        };
-        if orphan {
-            self.free_inode(&of.handle);
-        }
-        Ok(())
-    }
-
-    fn read(&self, fd: Fd, off: u64, buf: &mut [u8]) -> Result<usize> {
-        self.read_impl(fd, off, buf)
-    }
-
-    fn write(&self, fd: Fd, off: u64, data: &[u8]) -> Result<usize> {
-        self.write_impl(fd, off, data, false).map(|_| data.len())
-    }
-
-    fn append(&self, fd: Fd, data: &[u8]) -> Result<u64> {
-        self.write_impl(fd, 0, data, true)
-    }
-
-    fn fsync(&self, fd: Fd) -> Result<()> {
-        self.env.charge_syscall();
-        let of = self.fds.get(fd)?;
-        self.fsync_ino(of.ino)
-    }
-
-    fn truncate(&self, fd: Fd, size: u64) -> Result<()> {
+    fn truncate_impl(&self, fd: Fd, size: u64) -> Result<()> {
         self.env.charge_syscall();
         let of = self.fds.get(fd)?;
         if !of.flags.writable() {
@@ -609,11 +610,65 @@ impl FileSystem for Extfs {
         write_inode(&self.cache, &self.jbd, &self.layout, of.ino, &snap, now);
         Ok(())
     }
+}
+
+impl FileSystem for Extfs {
+    fn name(&self) -> &'static str {
+        self.mode.name()
+    }
+
+    fn open(&self, path: &str, flags: OpenFlags) -> Result<Fd> {
+        self.timed(OpKind::Open, || self.open_impl(path, flags))
+    }
+
+    fn close(&self, fd: Fd) -> Result<()> {
+        self.timed(OpKind::Close, || {
+            self.env.charge_syscall();
+            let of = self.fds.remove(fd)?;
+            let orphan = {
+                let mut opens = of.handle.opens.lock();
+                *opens -= 1;
+                *opens == 0 && of.handle.state.read().nlink == 0
+            };
+            if orphan {
+                self.free_inode(&of.handle);
+            }
+            Ok(())
+        })
+    }
+
+    fn read(&self, fd: Fd, off: u64, buf: &mut [u8]) -> Result<usize> {
+        self.timed(OpKind::Read, || self.read_impl(fd, off, buf))
+    }
+
+    fn write(&self, fd: Fd, off: u64, data: &[u8]) -> Result<usize> {
+        self.timed(OpKind::Write, || {
+            self.write_impl(fd, off, data, false).map(|_| data.len())
+        })
+    }
+
+    fn append(&self, fd: Fd, data: &[u8]) -> Result<u64> {
+        self.timed(OpKind::Write, || self.write_impl(fd, 0, data, true))
+    }
+
+    fn fsync(&self, fd: Fd) -> Result<()> {
+        self.timed(OpKind::Fsync, || {
+            self.env.charge_syscall();
+            let of = self.fds.get(fd)?;
+            self.fsync_ino(of.ino)
+        })
+    }
 
     fn unlink(&self, path: &str) -> Result<()> {
-        self.env.charge_syscall();
-        let _ns = self.ns.lock();
-        self.unlink_locked(path)
+        self.timed(OpKind::Unlink, || {
+            self.env.charge_syscall();
+            let _ns = self.ns.lock();
+            self.unlink_locked(path)
+        })
+    }
+
+    fn truncate(&self, fd: Fd, size: u64) -> Result<()> {
+        self.timed(OpKind::Truncate, || self.truncate_impl(fd, size))
     }
 
     fn mkdir(&self, path: &str) -> Result<()> {
@@ -760,7 +815,7 @@ impl FileSystem for Extfs {
 
     fn sync(&self) -> Result<()> {
         self.env.charge_syscall();
-        self.jbd.commit(&self.cache);
+        self.jbd_commit();
         self.cache.flush_all();
         self.bd.flush();
         Ok(())
@@ -768,7 +823,7 @@ impl FileSystem for Extfs {
 
     fn unmount(&self) -> Result<()> {
         self.env.charge_syscall();
-        self.jbd.commit(&self.cache);
+        self.jbd_commit();
         self.cache.flush_all();
         layout::set_clean(&self.cache, true, self.now());
         self.cache.flush_all();
@@ -780,9 +835,18 @@ impl FileSystem for Extfs {
         let last = self.last_commit.load(Ordering::Relaxed);
         if now_ns.saturating_sub(last) >= self.opts.periodic_commit_ns {
             self.last_commit.store(now_ns, Ordering::Relaxed);
-            self.jbd.commit(&self.cache);
+            self.jbd_commit();
             self.cache.flush_older_than(now_ns, self.opts.dirty_age_ns);
         }
+    }
+}
+
+impl obsv::MetricSource for Extfs {
+    fn collect(&self, out: &mut dyn obsv::Visitor) {
+        obsv::MetricSource::collect(&*self.obs, out);
+        out.counter("extfs_jbd_commits", self.jbd.commits());
+        out.gauge("extfs_jbd_running", self.jbd.running_len() as u64);
+        out.gauge("extfs_free_blocks", self.free_blocks());
     }
 }
 

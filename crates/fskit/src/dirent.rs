@@ -62,7 +62,7 @@ pub fn parse_block(buf: &[u8]) -> Result<Vec<(usize, RawEntry)>> {
         let rec_len = u16::from_le_bytes(buf[off + 8..off + 10].try_into().unwrap()) as usize;
         let name_len = buf[off + 10] as usize;
         let ftype = buf[off + 11];
-        if rec_len < HDR || rec_len % 4 != 0 || off + rec_len > block_size {
+        if rec_len < HDR || !rec_len.is_multiple_of(4) || off + rec_len > block_size {
             return Err(FsError::Corrupted("dirent rec_len"));
         }
         if ino != 0 && HDR + name_len > rec_len {

@@ -306,6 +306,16 @@ impl Shared {
         self.files.get(&ino)?.index.get(iblk).copied()
     }
 
+    /// `(capacity, free, dirty)` block counts under one lock hold — the
+    /// registry gauges.
+    pub fn gauges(&self) -> (usize, usize, usize) {
+        (
+            self.pool().capacity(),
+            self.pool().free_count(),
+            self.dirty_blocks,
+        )
+    }
+
     /// Lines of `LINES_PER_BLOCK` sanity (compile-time shape check).
     pub const LINES: usize = LINES_PER_BLOCK;
 }

@@ -18,6 +18,7 @@
 //! that pretends every write was buffered.
 
 use nvmm::CostModel;
+use obsv::{TraceEvent, TraceRing};
 
 use crate::buffer::FileBuf;
 use crate::stats::HinfsStats;
@@ -72,6 +73,20 @@ pub fn record_write(file: &mut FileBuf, iblk: u64, line_mask: u64, buffered: boo
     }
 }
 
+/// The pieces of mount state a synchronization-point evaluation reads:
+/// configuration, cost model, counters, trace ring, plus the sync's
+/// timestamp and the inode being synced.
+pub struct EvalCtx<'a> {
+    pub cfg: &'a HinfsConfig,
+    pub cost: &'a CostModel,
+    pub stats: &'a HinfsStats,
+    pub trace: &'a TraceRing,
+    /// Simulated time of the synchronization.
+    pub now: u64,
+    /// Inode being synchronized (trace payload only).
+    pub ino: u64,
+}
+
 /// Runs the model for one block at a synchronization point.
 ///
 /// `n_cf` is the number of cacheline flushes this synchronization performs
@@ -79,39 +94,42 @@ pub fn record_write(file: &mut FileBuf, iblk: u64, line_mask: u64, buffered: boo
 /// bypassed ones). Updates the block's state, the accuracy counters
 /// (Fig 6), and resets the per-epoch counters. Returns `true` if the block
 /// is now Lazy-Persistent.
-pub fn evaluate_at_sync(
-    cfg: &HinfsConfig,
-    cost: &CostModel,
-    file: &mut FileBuf,
-    iblk: u64,
-    n_cf: u64,
-    now: u64,
-    stats: &HinfsStats,
-) -> bool {
+pub fn evaluate_at_sync(ctx: &EvalCtx<'_>, file: &mut FileBuf, iblk: u64, n_cf: u64) -> bool {
     let st = file.bbm.entry(iblk).or_default();
     if st.n_cw == 0 && n_cf == 0 {
         // Nothing happened to this block this epoch; keep its state.
         return !file.eager.contains_key(&iblk);
     }
-    let lazy = buffering_wins(cost, st.n_cw, n_cf);
-    HinfsStats::bump(&stats.bbm_evals, 1);
-    if let Some(prev) = st.prev_lazy {
-        if prev == lazy {
-            HinfsStats::bump(&stats.bbm_accurate, 1);
-        }
-    } else {
+    let n_cw = st.n_cw;
+    let lazy = buffering_wins(ctx.cost, n_cw, n_cf);
+    HinfsStats::bump(&ctx.stats.bbm_evals, 1);
+    let flipped = match st.prev_lazy {
+        Some(prev) => prev != lazy,
         // First evaluation: the paper measures prediction stability between
         // consecutive syncs, so the first one has no basis — count it as
-        // accurate (it cannot have mispredicted anything yet).
-        HinfsStats::bump(&stats.bbm_accurate, 1);
+        // accurate (it cannot have mispredicted anything yet). It still
+        // traces as a flip when it leaves the default lazy state.
+        None => !lazy,
+    };
+    if !flipped || st.prev_lazy.is_none() {
+        HinfsStats::bump(&ctx.stats.bbm_accurate, 1);
+    }
+    if flipped {
+        ctx.trace.emit(ctx.now, || TraceEvent::BbmFlip {
+            ino: ctx.ino,
+            iblk,
+            to_lazy: lazy,
+            n_cw,
+            n_cf,
+        });
     }
     st.prev_lazy = Some(lazy);
     st.n_cw = 0;
     st.ghost_dirty = 0;
-    if lazy || !cfg.checker {
+    if lazy || !ctx.cfg.checker {
         file.eager.remove(&iblk);
     } else {
-        file.eager.insert(iblk, now);
+        file.eager.insert(iblk, ctx.now);
     }
     lazy
 }
@@ -179,14 +197,24 @@ mod tests {
         let c = cfg();
         let cost = CostModel::default();
         let stats = HinfsStats::new();
+        let trace = TraceRing::new(16);
+        trace.set_enabled(true);
+        let ctx = |now| EvalCtx {
+            cfg: &c,
+            cost: &cost,
+            stats: &stats,
+            trace: &trace,
+            now,
+            ino: 9,
+        };
         let mut f = FileBuf::new();
         // Epoch 1: no coalescing -> eager.
         record_write(&mut f, 0, 0xff, true);
-        assert!(!evaluate_at_sync(&c, &cost, &mut f, 0, 8, 100, &stats));
+        assert!(!evaluate_at_sync(&ctx(100), &mut f, 0, 8));
         assert!(f.eager.contains_key(&0));
         // Epoch 2: same behaviour -> still eager, and accurate.
         record_write(&mut f, 0, 0xff, false);
-        assert!(!evaluate_at_sync(&c, &cost, &mut f, 0, 8, 200, &stats));
+        assert!(!evaluate_at_sync(&ctx(200), &mut f, 0, 8));
         let s = stats.snapshot();
         assert_eq!(s.bbm_evals, 2);
         assert_eq!(s.bbm_accurate, 2);
@@ -194,11 +222,27 @@ mod tests {
         for _ in 0..100 {
             record_write(&mut f, 0, 0xff, false);
         }
-        assert!(evaluate_at_sync(&c, &cost, &mut f, 0, 8, 300, &stats));
+        assert!(evaluate_at_sync(&ctx(300), &mut f, 0, 8));
         assert!(!f.eager.contains_key(&0));
         let s = stats.snapshot();
         assert_eq!(s.bbm_evals, 3);
         assert_eq!(s.bbm_accurate, 2, "the flip was a misprediction");
+        // Both state changes (lazy->eager at epoch 1, eager->lazy at
+        // epoch 3) traced; the accurate epoch-2 eval did not.
+        let flips: Vec<_> = trace
+            .tail(16)
+            .into_iter()
+            .map(|r| match r.ev {
+                TraceEvent::BbmFlip {
+                    ino, iblk, to_lazy, ..
+                } => {
+                    assert_eq!((ino, iblk), (9, 0));
+                    to_lazy
+                }
+                other => panic!("unexpected event {other:?}"),
+            })
+            .collect();
+        assert_eq!(flips, vec![false, true]);
     }
 
     #[test]
@@ -206,9 +250,18 @@ mod tests {
         let c = cfg();
         let cost = CostModel::default();
         let stats = HinfsStats::new();
+        let trace = TraceRing::new(4);
         let mut f = FileBuf::new();
         f.eager.insert(7, 50);
-        assert!(!evaluate_at_sync(&c, &cost, &mut f, 7, 0, 100, &stats));
+        let ctx = EvalCtx {
+            cfg: &c,
+            cost: &cost,
+            stats: &stats,
+            trace: &trace,
+            now: 100,
+            ino: 1,
+        };
+        assert!(!evaluate_at_sync(&ctx, &mut f, 7, 0));
         assert_eq!(stats.snapshot().bbm_evals, 0);
     }
 

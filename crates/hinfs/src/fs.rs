@@ -18,6 +18,7 @@ use std::sync::Arc;
 
 use fskit::{DirEntry, Fd, FileSystem, FileType, FsError, MmapHandle, OpenFlags, Result, Stat};
 use nvmm::{Cat, NvmmDevice, SimEnv, BLOCK_SIZE, CACHELINE};
+use obsv::{FsObs, OpKind, TraceEvent};
 use parking_lot::Mutex;
 use pmfs::inode::InodeMem;
 use pmfs::{Layout, Pmfs, PmfsOptions, TxHandle};
@@ -36,6 +37,7 @@ pub struct Hinfs {
     pub(crate) cfg: HinfsConfig,
     pub(crate) shared: Mutex<Shared>,
     pub(crate) stats: HinfsStats,
+    pub(crate) obs: Arc<FsObs>,
     pub(crate) wb: WbCtl,
 }
 
@@ -59,11 +61,14 @@ impl Hinfs {
         let fs = Arc::new(Hinfs {
             shared: Mutex::new(Shared::init(cfg.buffer_blocks())),
             stats: HinfsStats::new(),
+            obs: Arc::new(FsObs::default()),
             wb: WbCtl::new(),
             inner,
             env,
             cfg,
         });
+        // Journal commits land on the same trace timeline as writeback.
+        fs.inner.journal().set_trace(fs.obs.trace.clone());
         fs.start_background();
         Ok(fs)
     }
@@ -71,6 +76,24 @@ impl Hinfs {
     /// Runtime counters.
     pub fn stats(&self) -> &HinfsStats {
         &self.stats
+    }
+
+    /// Latency histograms, slow-op log and trace ring.
+    pub fn obs(&self) -> &Arc<FsObs> {
+        &self.obs
+    }
+
+    /// Runs `f` as operation `op`, recording its latency when timing is
+    /// enabled (one relaxed load otherwise).
+    fn timed<T>(&self, op: OpKind, f: impl FnOnce() -> Result<T>) -> Result<T> {
+        if !self.obs.timing_enabled() {
+            return f();
+        }
+        let start = self.env.now();
+        let r = f();
+        let end = self.env.now();
+        self.obs.record_op(op, end.saturating_sub(start), start);
+        r
     }
 
     /// The mount configuration.
@@ -274,7 +297,15 @@ impl Hinfs {
         // Wake the background writeback when the pool runs low (Low_f).
         let low = {
             let sh = self.shared.lock();
-            sh.pool().free_count() < self.cfg.low_blocks()
+            let free = sh.pool().free_count();
+            let low_mark = self.cfg.low_blocks();
+            if free < low_mark {
+                self.obs.trace.emit(now, || TraceEvent::WatermarkLow {
+                    free: free as u64,
+                    low: low_mark as u64,
+                });
+            }
+            free < low_mark
         };
         if low {
             self.kick_background(self.env.now());
@@ -383,6 +414,9 @@ impl Hinfs {
                 // foreground pays for one reclaim itself (the stall).
                 drop(sh);
                 HinfsStats::bump(&self.stats.foreground_stalls, 1);
+                self.obs
+                    .trace
+                    .emit(now, || TraceEvent::ForegroundStall { ino });
                 self.reclaim(1, Some((ino, state)), false);
                 continue;
             };
@@ -518,17 +552,20 @@ impl Hinfs {
                     evals.push((iblk, st.ghost_dirty.count_ones() as u64));
                 }
             }
+            // `bbm` is a HashMap: pin the evaluation (and hence eviction)
+            // order so repeated runs stay bit-identical.
+            evals.sort_unstable();
+            let ctx = checker::EvalCtx {
+                cfg: &self.cfg,
+                cost: self.env.cost(),
+                stats: &self.stats,
+                trace: &self.obs.trace,
+                now,
+                ino,
+            };
             let mut to_evict: Vec<u64> = Vec::new();
             for (iblk, n_cf) in evals {
-                let lazy = checker::evaluate_at_sync(
-                    &self.cfg,
-                    self.env.cost(),
-                    file,
-                    iblk,
-                    n_cf,
-                    now,
-                    &self.stats,
-                );
+                let lazy = checker::evaluate_at_sync(&ctx, file, iblk, n_cf);
                 if !lazy && file.index.get(iblk).is_some() {
                     to_evict.push(iblk);
                 }
@@ -584,80 +621,7 @@ impl Hinfs {
         }
     }
 
-    /// Resolves a path to a file inode handle, if it exists and is a file.
-    fn peek_file(&self, path: &str) -> Option<Arc<pmfs::inode::InodeHandle>> {
-        let h = self.inner.resolve_path(path).ok()?;
-        let is_file = h.state.read().ftype == FileType::File;
-        is_file.then_some(h)
-    }
-}
-
-/// Clips the byte span of a line run to `[in_blk, in_blk+chunk)`; returns
-/// block-relative `(start, end)` bytes.
-fn clip(start_line: u32, nlines: u32, in_blk: usize, chunk: usize) -> (usize, usize) {
-    let s = (start_line as usize * CACHELINE).max(in_blk);
-    let e = ((start_line + nlines) as usize * CACHELINE).min(in_blk + chunk);
-    (s, e)
-}
-
-impl FileSystem for Hinfs {
-    fn name(&self) -> &'static str {
-        if !self.cfg.checker {
-            "hinfs-wb"
-        } else if !self.cfg.clfw {
-            "hinfs-nclfw"
-        } else {
-            "hinfs"
-        }
-    }
-
-    fn open(&self, path: &str, flags: OpenFlags) -> Result<Fd> {
-        self.relieve_for_namespace();
-        // O_TRUNC discards this file's buffered data before PMFS truncates
-        // the persistent state.
-        if flags.contains(OpenFlags::TRUNC) && flags.writable() {
-            if let Some(h) = self.peek_file(path) {
-                let _guard = h.state.write();
-                self.drop_buffers(h.ino);
-            }
-        }
-        self.inner.open(path, flags)
-    }
-
-    fn close(&self, fd: Fd) -> Result<()> {
-        // The final close of an unlinked file frees it inside PMFS, which
-        // needs journal space.
-        self.relieve_for_namespace();
-        let of = self.inner.open_file(fd)?;
-        let orphan_last = of.handle.state.read().nlink == 0 && *of.handle.opens.lock() == 1;
-        if orphan_last {
-            let _guard = of.handle.state.write();
-            self.drop_buffers(of.ino);
-        }
-        drop(of);
-        self.inner.close(fd)
-    }
-
-    fn read(&self, fd: Fd, off: u64, buf: &mut [u8]) -> Result<usize> {
-        self.read_impl(fd, off, buf)
-    }
-
-    fn write(&self, fd: Fd, off: u64, data: &[u8]) -> Result<usize> {
-        self.write_impl(fd, off, data, false).map(|_| data.len())
-    }
-
-    fn append(&self, fd: Fd, data: &[u8]) -> Result<u64> {
-        self.write_impl(fd, 0, data, true)
-    }
-
-    fn fsync(&self, fd: Fd) -> Result<()> {
-        self.env.charge_syscall();
-        let of = self.inner.open_file(fd)?;
-        let mut guard = of.handle.state.write();
-        self.fsync_core(of.ino, &mut guard, true)
-    }
-
-    fn truncate(&self, fd: Fd, size: u64) -> Result<()> {
+    fn truncate_impl(&self, fd: Fd, size: u64) -> Result<()> {
         self.env.charge_syscall();
         let of = self.inner.open_file(fd)?;
         if !of.flags.writable() {
@@ -709,17 +673,105 @@ impl FileSystem for Hinfs {
         Ok(())
     }
 
-    fn unlink(&self, path: &str) -> Result<()> {
-        self.relieve_for_namespace();
-        if let Some(h) = self.peek_file(path) {
-            let _guard = h.state.write();
-            // Only drop the buffered data if the file is really going away;
-            // open descriptors keep reading it until the last close.
-            if *h.opens.lock() == 0 {
-                self.drop_buffers(h.ino);
-            }
+    /// Resolves a path to a file inode handle, if it exists and is a file.
+    fn peek_file(&self, path: &str) -> Option<Arc<pmfs::inode::InodeHandle>> {
+        let h = self.inner.resolve_path(path).ok()?;
+        let is_file = h.state.read().ftype == FileType::File;
+        is_file.then_some(h)
+    }
+}
+
+/// Clips the byte span of a line run to `[in_blk, in_blk+chunk)`; returns
+/// block-relative `(start, end)` bytes.
+fn clip(start_line: u32, nlines: u32, in_blk: usize, chunk: usize) -> (usize, usize) {
+    let s = (start_line as usize * CACHELINE).max(in_blk);
+    let e = ((start_line + nlines) as usize * CACHELINE).min(in_blk + chunk);
+    (s, e)
+}
+
+impl FileSystem for Hinfs {
+    fn name(&self) -> &'static str {
+        if !self.cfg.checker {
+            "hinfs-wb"
+        } else if !self.cfg.clfw {
+            "hinfs-nclfw"
+        } else {
+            "hinfs"
         }
-        self.inner.unlink(path)
+    }
+
+    fn open(&self, path: &str, flags: OpenFlags) -> Result<Fd> {
+        self.timed(OpKind::Open, || {
+            self.relieve_for_namespace();
+            // O_TRUNC discards this file's buffered data before PMFS
+            // truncates the persistent state.
+            if flags.contains(OpenFlags::TRUNC) && flags.writable() {
+                if let Some(h) = self.peek_file(path) {
+                    let _guard = h.state.write();
+                    self.drop_buffers(h.ino);
+                }
+            }
+            self.inner.open(path, flags)
+        })
+    }
+
+    fn close(&self, fd: Fd) -> Result<()> {
+        self.timed(OpKind::Close, || {
+            // The final close of an unlinked file frees it inside PMFS,
+            // which needs journal space.
+            self.relieve_for_namespace();
+            let of = self.inner.open_file(fd)?;
+            let orphan_last = of.handle.state.read().nlink == 0 && *of.handle.opens.lock() == 1;
+            if orphan_last {
+                let _guard = of.handle.state.write();
+                self.drop_buffers(of.ino);
+            }
+            drop(of);
+            self.inner.close(fd)
+        })
+    }
+
+    fn read(&self, fd: Fd, off: u64, buf: &mut [u8]) -> Result<usize> {
+        self.timed(OpKind::Read, || self.read_impl(fd, off, buf))
+    }
+
+    fn write(&self, fd: Fd, off: u64, data: &[u8]) -> Result<usize> {
+        self.timed(OpKind::Write, || {
+            self.write_impl(fd, off, data, false).map(|_| data.len())
+        })
+    }
+
+    fn append(&self, fd: Fd, data: &[u8]) -> Result<u64> {
+        self.timed(OpKind::Write, || self.write_impl(fd, 0, data, true))
+    }
+
+    fn fsync(&self, fd: Fd) -> Result<()> {
+        self.timed(OpKind::Fsync, || {
+            self.env.charge_syscall();
+            let of = self.inner.open_file(fd)?;
+            let mut guard = of.handle.state.write();
+            self.fsync_core(of.ino, &mut guard, true)
+        })
+    }
+
+    fn truncate(&self, fd: Fd, size: u64) -> Result<()> {
+        self.timed(OpKind::Truncate, || self.truncate_impl(fd, size))
+    }
+
+    fn unlink(&self, path: &str) -> Result<()> {
+        self.timed(OpKind::Unlink, || {
+            self.relieve_for_namespace();
+            if let Some(h) = self.peek_file(path) {
+                let _guard = h.state.write();
+                // Only drop the buffered data if the file is really going
+                // away; open descriptors keep reading it until the last
+                // close.
+                if *h.opens.lock() == 0 {
+                    self.drop_buffers(h.ino);
+                }
+            }
+            self.inner.unlink(path)
+        })
     }
 
     fn mkdir(&self, path: &str) -> Result<()> {
@@ -795,6 +847,17 @@ impl FileSystem for Hinfs {
 
     fn tick(&self, now_ns: u64) {
         self.tick_virtual(now_ns);
+    }
+}
+
+impl obsv::MetricSource for Hinfs {
+    fn collect(&self, out: &mut dyn obsv::Visitor) {
+        obsv::MetricSource::collect(&self.stats, out);
+        obsv::MetricSource::collect(&*self.obs, out);
+        let (cap, free, dirty) = self.shared.lock().gauges();
+        out.gauge("hinfs_buffer_capacity_blocks", cap as u64);
+        out.gauge("hinfs_buffer_free_blocks", free as u64);
+        out.gauge("hinfs_buffer_dirty_blocks", dirty as u64);
     }
 }
 

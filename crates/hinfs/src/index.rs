@@ -14,7 +14,9 @@ const MAX_KEYS: usize = 2 * B - 1;
 struct Node<V> {
     keys: Vec<u64>,
     vals: Vec<V>,
-    /// Empty for leaves; otherwise `keys.len() + 1` children.
+    /// Empty for leaves; otherwise `keys.len() + 1` children. Boxed on
+    /// purpose: `children.insert`/`remove` shift pointers, not whole nodes.
+    #[allow(clippy::vec_box)]
     children: Vec<Box<Node<V>>>,
 }
 

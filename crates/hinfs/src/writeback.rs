@@ -76,7 +76,7 @@ impl Hinfs {
         &self,
         sh: &mut Shared,
         slot: u32,
-        mut state: Option<&mut InodeMem>,
+        state: Option<&mut InodeMem>,
     ) -> Result<FlushTry> {
         let meta = *sh.pool().meta(slot);
         if meta.dirty == 0 {
@@ -93,7 +93,7 @@ impl Hinfs {
             match looked_up {
                 Some(p) => p,
                 None => {
-                    let Some(st) = state.as_deref_mut() else {
+                    let Some(st) = state else {
                         return Ok(FlushTry::NeedsInode(meta.ino));
                     };
                     // Allocate on flush: fresh block. Zero the clean lines
@@ -184,7 +184,8 @@ impl Hinfs {
         Ok(FlushTry::Done)
     }
 
-    /// Reclaims LRW victims until `target_free` blocks are free.
+    /// Reclaims LRW victims until `target_free` blocks are free, bracketing
+    /// the pass with trace events when tracing is on.
     ///
     /// `own` lends the caller's already-locked inode so its own blocks can
     /// be flushed without re-locking. `blocking` selects whether foreign
@@ -193,13 +194,42 @@ impl Hinfs {
     pub(crate) fn reclaim(
         &self,
         target_free: usize,
-        mut own: Option<(u64, &mut InodeMem)>,
+        own: Option<(u64, &mut InodeMem)>,
         blocking: bool,
     ) {
+        if !self.obs.trace.enabled() {
+            self.reclaim_loop(target_free, own, blocking);
+            return;
+        }
+        let free = self.shared.lock().pool().free_count() as u64;
+        self.obs
+            .trace
+            .emit(self.env.now(), || obsv::TraceEvent::ReclaimBegin {
+                free,
+                target: target_free as u64,
+            });
+        let victims = self.reclaim_loop(target_free, own, blocking);
+        let free = self.shared.lock().pool().free_count() as u64;
+        self.obs
+            .trace
+            .emit(self.env.now(), || obsv::TraceEvent::ReclaimEnd {
+                victims,
+                free,
+            });
+    }
+
+    /// The reclaim loop proper; returns the number of evicted victims.
+    fn reclaim_loop(
+        &self,
+        target_free: usize,
+        mut own: Option<(u64, &mut InodeMem)>,
+        blocking: bool,
+    ) -> u64 {
+        let mut victims = 0;
         loop {
             let mut sh = self.shared.lock();
             if sh.pool().free_count() >= target_free {
-                return;
+                return victims;
             }
             // Find the oldest victim we can handle in this iteration.
             let mut victim: Option<(u32, u64)> = None; // (slot, ino-if-foreign)
@@ -216,15 +246,16 @@ impl Hinfs {
                 }
             }
             let Some((slot, foreign_ino)) = victim else {
-                return; // pool empty of victims (everything already free)
+                return victims; // pool empty of victims (everything already free)
             };
             if foreign_ino == 0 {
                 let state = own.as_mut().map(|(_, st)| &mut **st);
                 // Self-sufficient or own-inode victims cannot fail with
                 // NeedsInode; allocator exhaustion aborts the pass.
                 if self.evict_slot_locked(&mut sh, slot, state).is_err() {
-                    return;
+                    return victims;
                 }
+                victims += 1;
                 continue;
             }
             // Foreign hole-block: take the owner's inode lock with the
@@ -248,8 +279,12 @@ impl Hinfs {
             // Re-validate after re-locking.
             let still = sh.slot_of(foreign_ino, sh.pool().meta(slot).iblk) == Some(slot)
                 && sh.pool().meta(slot).ino == foreign_ino;
-            if still {
-                let _ = self.evict_slot_locked(&mut sh, slot, Some(&mut guard));
+            if still
+                && self
+                    .evict_slot_locked(&mut sh, slot, Some(&mut guard))
+                    .is_ok()
+            {
+                victims += 1;
             }
         }
     }
@@ -268,6 +303,7 @@ impl Hinfs {
         }
         // Age-based flush: the LRW list is ordered by last write, so scan
         // from the LRW end until blocks get too young.
+        let mut age_flushed: u64 = 0;
         loop {
             let mut sh = self.shared.lock();
             let mut target: Option<(u32, u64)> = None;
@@ -281,9 +317,12 @@ impl Hinfs {
                     break;
                 }
             }
-            let Some((slot, ino)) = target else { return };
+            let Some((slot, ino)) = target else { break };
             match self.flush_slot_locked(&mut sh, slot, None) {
-                Ok(FlushTry::Done) => continue,
+                Ok(FlushTry::Done) => {
+                    age_flushed += 1;
+                    continue;
+                }
                 Ok(FlushTry::NeedsInode(_)) => {
                     drop(sh);
                     let Ok(handle) = self.inner.inode(ino) else {
@@ -292,12 +331,22 @@ impl Hinfs {
                     let mut guard = handle.state.write();
                     let mut sh = self.shared.lock();
                     let iblk = sh.pool().meta(slot).iblk;
-                    if sh.slot_of(ino, iblk) == Some(slot) {
-                        let _ = self.flush_slot_locked(&mut sh, slot, Some(&mut guard));
+                    if sh.slot_of(ino, iblk) == Some(slot)
+                        && matches!(
+                            self.flush_slot_locked(&mut sh, slot, Some(&mut guard)),
+                            Ok(FlushTry::Done)
+                        )
+                    {
+                        age_flushed += 1;
                     }
                 }
-                Err(_) => return,
+                Err(_) => break,
             }
+        }
+        if age_flushed > 0 {
+            self.obs
+                .trace
+                .emit(now, || obsv::TraceEvent::PeriodicPass { age_flushed });
         }
     }
 
@@ -399,10 +448,13 @@ impl Hinfs {
     }
 
     fn flush_files(&self, blocking: bool) -> Result<()> {
-        let inos: Vec<u64> = {
+        let mut inos: Vec<u64> = {
             let sh = self.shared.lock();
             sh.files.keys().copied().collect()
         };
+        // Flush order feeds the journal and the bandwidth-gate calendar;
+        // HashMap order would make virtual time run-dependent.
+        inos.sort_unstable();
         for ino in inos {
             let Ok(handle) = self.inner.inode(ino) else {
                 continue;

@@ -106,7 +106,7 @@ impl CostModel {
         if per_writer == 0 {
             return 1;
         }
-        let slots = (self.nvmm_write_bandwidth as u128 + per_writer - 1) / per_writer;
+        let slots = (self.nvmm_write_bandwidth as u128).div_ceil(per_writer);
         slots.max(1) as usize
     }
 

@@ -266,6 +266,13 @@ impl NvmmDevice {
     }
 }
 
+impl obsv::MetricSource for NvmmDevice {
+    fn collect(&self, out: &mut dyn obsv::Visitor) {
+        obsv::MetricSource::collect(&self.stats, out);
+        out.gauge("nvmm_capacity_bytes", self.len as u64);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

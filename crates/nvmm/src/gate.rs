@@ -107,7 +107,7 @@ impl BandwidthGate {
             b += 1;
         }
         cal.admits += 1;
-        if cal.admits % 8192 == 0 {
+        if cal.admits.is_multiple_of(8192) {
             let cutoff = cal.low.saturating_sub(PRUNE_WINDOW);
             if cutoff > cal.floor {
                 cal.used.retain(|&k, _| k >= cutoff);

@@ -1,0 +1,354 @@
+//! Unified observability layer for the HiNFS reproduction suite.
+//!
+//! Three pieces, all dependency-free and cheap enough to thread through
+//! every crate in the workspace:
+//!
+//! - [`Histo`]: lock-free log-bucketed latency histograms, recorded per
+//!   [`OpKind`] through [`FsObs`];
+//! - [`MetricsRegistry`] / [`MetricSource`]: one collection trait that
+//!   unifies the per-subsystem counter structs (HiNFS, device, journal)
+//!   behind Prometheus-style text exposition and JSON snapshots;
+//! - [`TraceRing`]: a fixed-capacity lock-free ring of structured
+//!   [`TraceEvent`]s (writeback reclaim, watermark crossings, foreground
+//!   stalls, Buffer Benefit Model flips, journal commits).
+//!
+//! Everything is **off by default**: with timing and tracing disabled the
+//! instrumentation in the file systems costs one relaxed atomic load per
+//! hook.
+
+mod histo;
+mod registry;
+mod trace;
+
+pub use histo::{bucket_of, bucket_upper, Histo, HistoSnapshot, N_BUCKETS, SUB_BUCKETS};
+pub use registry::{Counter, MetricSource, MetricsRegistry, RegistrySnapshot, Visitor};
+pub use trace::{TraceEvent, TraceRecord, TraceRing};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Syscall categories tracked per file system (the Fig 12 breakdown uses
+/// `Read`, `Write`, `Unlink` and `Fsync`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum OpKind {
+    Open = 0,
+    Close = 1,
+    Read = 2,
+    Write = 3,
+    Fsync = 4,
+    Unlink = 5,
+    Mkdir = 6,
+    Readdir = 7,
+    Stat = 8,
+    Rename = 9,
+    Truncate = 10,
+}
+
+/// Number of [`OpKind`] variants.
+pub const NOPS: usize = 11;
+
+/// All op kinds in discriminant order.
+pub const ALL_OPS: [OpKind; NOPS] = [
+    OpKind::Open,
+    OpKind::Close,
+    OpKind::Read,
+    OpKind::Write,
+    OpKind::Fsync,
+    OpKind::Unlink,
+    OpKind::Mkdir,
+    OpKind::Readdir,
+    OpKind::Stat,
+    OpKind::Rename,
+    OpKind::Truncate,
+];
+
+impl OpKind {
+    /// Stable label for reports and metric names.
+    pub fn label(self) -> &'static str {
+        match self {
+            OpKind::Open => "open",
+            OpKind::Close => "close",
+            OpKind::Read => "read",
+            OpKind::Write => "write",
+            OpKind::Fsync => "fsync",
+            OpKind::Unlink => "unlink",
+            OpKind::Mkdir => "mkdir",
+            OpKind::Readdir => "readdir",
+            OpKind::Stat => "stat",
+            OpKind::Rename => "rename",
+            OpKind::Truncate => "truncate",
+        }
+    }
+}
+
+/// One of the k slowest operations seen so far.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlowOp {
+    /// Operation latency in simulated ns.
+    pub ns: u64,
+    /// The op kind.
+    pub op: OpKind,
+    /// When the op started, simulated ns.
+    pub at_ns: u64,
+}
+
+/// Slots kept by the slow-op log.
+const SLOW_CAP: usize = 16;
+
+/// Per-file-system observability bundle: one latency histogram per op
+/// kind, a top-k slowest-op log, and the trace ring. Timing and tracing
+/// are independent switches, both off by default.
+#[derive(Debug)]
+pub struct FsObs {
+    timing: AtomicBool,
+    ops: [Histo; NOPS],
+    slow: Mutex<Vec<SlowOp>>,
+    /// The structured event ring, shared with subsystems (journal) that
+    /// emit into the same timeline.
+    pub trace: Arc<TraceRing>,
+}
+
+impl Default for FsObs {
+    fn default() -> Self {
+        FsObs::new(1024)
+    }
+}
+
+impl FsObs {
+    /// A disabled bundle whose trace ring holds `trace_capacity` events.
+    pub fn new(trace_capacity: usize) -> FsObs {
+        FsObs {
+            timing: AtomicBool::new(false),
+            ops: std::array::from_fn(|_| Histo::new()),
+            slow: Mutex::new(Vec::with_capacity(SLOW_CAP)),
+            trace: Arc::new(TraceRing::new(trace_capacity)),
+        }
+    }
+
+    /// Whether per-op latency recording is on.
+    #[inline]
+    pub fn timing_enabled(&self) -> bool {
+        self.timing.load(Ordering::Relaxed)
+    }
+
+    /// Switches per-op latency recording.
+    pub fn set_timing(&self, on: bool) {
+        self.timing.store(on, Ordering::Relaxed);
+    }
+
+    /// Switches trace-event capture.
+    pub fn set_tracing(&self, on: bool) {
+        self.trace.set_enabled(on);
+    }
+
+    /// Records one completed operation (called by the file systems when
+    /// timing is enabled).
+    pub fn record_op(&self, op: OpKind, ns: u64, at_ns: u64) {
+        self.ops[op as usize].record(ns);
+        let mut slow = self.slow.lock().unwrap();
+        if slow.len() < SLOW_CAP {
+            slow.push(SlowOp { ns, op, at_ns });
+        } else if let Some(min) = slow.iter_mut().min_by_key(|s| s.ns) {
+            if ns > min.ns {
+                *min = SlowOp { ns, op, at_ns };
+            }
+        }
+    }
+
+    /// The latency histogram of one op kind.
+    pub fn op_histo(&self, op: OpKind) -> &Histo {
+        &self.ops[op as usize]
+    }
+
+    /// The slowest recorded ops, slowest first.
+    pub fn slowest(&self) -> Vec<SlowOp> {
+        let mut v = self.slow.lock().unwrap().clone();
+        v.sort_by_key(|s| std::cmp::Reverse(s.ns));
+        v
+    }
+}
+
+impl MetricSource for FsObs {
+    fn collect(&self, out: &mut dyn Visitor) {
+        for op in ALL_OPS {
+            let snap = self.ops[op as usize].snapshot();
+            if snap.count() > 0 {
+                out.histo(&format!("op_{}_ns", op.label()), snap);
+            }
+        }
+        out.counter("trace_events", self.trace.emitted());
+        out.counter("trace_dropped", self.trace.dropped());
+    }
+}
+
+/// Defines a struct of relaxed `AtomicU64` counters together with its
+/// plain-`u64` snapshot type, `new`/`snapshot`/`since`, and a
+/// [`MetricSource`] impl that reports every field as
+/// `<prefix><field>` (or `<prefix><override>` with `field as "override"`).
+///
+/// ```
+/// obsv::counter_set! {
+///     /// Example counters.
+///     pub struct DemoStats, snapshot DemoSnapshot, prefix "demo_" {
+///         /// Cache hits.
+///         pub hits,
+///         pub misses as "lookup_misses",
+///     }
+/// }
+/// let s = DemoStats::new();
+/// s.hits.fetch_add(2, std::sync::atomic::Ordering::Relaxed);
+/// assert_eq!(s.snapshot().hits, 2);
+/// ```
+#[macro_export]
+macro_rules! counter_set {
+    (
+        $(#[$smeta:meta])*
+        $vis:vis struct $name:ident, snapshot $snap:ident, prefix $prefix:literal {
+            $(
+                $(#[$fmeta:meta])*
+                $fvis:vis $field:ident $(as $mname:literal)?
+            ),+ $(,)?
+        }
+    ) => {
+        $(#[$smeta])*
+        #[derive(Debug, Default)]
+        $vis struct $name {
+            $( $(#[$fmeta])* $fvis $field: ::std::sync::atomic::AtomicU64, )+
+        }
+
+        impl $name {
+            /// Zeroed counters.
+            $vis fn new() -> Self {
+                Self::default()
+            }
+
+            /// Copies the current counter values.
+            $vis fn snapshot(&self) -> $snap {
+                $snap {
+                    $( $field: self.$field.load(::std::sync::atomic::Ordering::Relaxed), )+
+                }
+            }
+        }
+
+        #[doc = concat!("Point-in-time copy of [`", stringify!($name), "`].")]
+        #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+        $vis struct $snap {
+            $( $(#[$fmeta])* pub $field: u64, )+
+        }
+
+        impl $snap {
+            /// Per-counter difference `self - earlier`, saturating at zero.
+            $vis fn since(&self, earlier: &$snap) -> $snap {
+                $snap {
+                    $( $field: self.$field.saturating_sub(earlier.$field), )+
+                }
+            }
+        }
+
+        impl $crate::MetricSource for $name {
+            fn collect(&self, out: &mut dyn $crate::Visitor) {
+                $(
+                    out.counter(
+                        $crate::counter_set!(@name $prefix, $field $(, $mname)?),
+                        self.$field.load(::std::sync::atomic::Ordering::Relaxed),
+                    );
+                )+
+            }
+        }
+    };
+    (@name $prefix:literal, $field:ident) => {
+        concat!($prefix, stringify!($field))
+    };
+    (@name $prefix:literal, $field:ident, $mname:literal) => {
+        concat!($prefix, $mname)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    counter_set! {
+        /// Test counters.
+        pub struct TStats, snapshot TSnapshot, prefix "t_" {
+            /// Plain counter.
+            pub alpha,
+            /// Renamed counter.
+            pub beta as "renamed_beta",
+        }
+    }
+
+    struct Collect(Vec<(String, u64)>);
+
+    impl Visitor for Collect {
+        fn counter(&mut self, name: &str, value: u64) {
+            self.0.push((name.to_string(), value));
+        }
+        fn gauge(&mut self, _: &str, _: u64) {}
+        fn histo(&mut self, _: &str, _: HistoSnapshot) {}
+    }
+
+    #[test]
+    fn counter_set_generates_everything() {
+        let s = TStats::new();
+        s.alpha.fetch_add(3, Ordering::Relaxed);
+        s.beta.fetch_add(1, Ordering::Relaxed);
+        let snap = s.snapshot();
+        assert_eq!(snap.alpha, 3);
+        assert_eq!(snap.beta, 1);
+        s.alpha.fetch_add(2, Ordering::Relaxed);
+        let d = s.snapshot().since(&snap);
+        assert_eq!(d.alpha, 2);
+        assert_eq!(d.beta, 0);
+        let mut c = Collect(Vec::new());
+        s.collect(&mut c);
+        assert_eq!(
+            c.0,
+            vec![
+                ("t_alpha".to_string(), 5),
+                ("t_renamed_beta".to_string(), 1)
+            ]
+        );
+    }
+
+    #[test]
+    fn fsobs_records_and_collects() {
+        let obs = FsObs::new(8);
+        assert!(!obs.timing_enabled());
+        obs.set_timing(true);
+        obs.record_op(OpKind::Read, 100, 0);
+        obs.record_op(OpKind::Read, 300, 10);
+        obs.record_op(OpKind::Fsync, 5000, 20);
+        assert_eq!(obs.op_histo(OpKind::Read).snapshot().count(), 2);
+        let slow = obs.slowest();
+        assert_eq!(slow[0].op, OpKind::Fsync);
+        assert_eq!(slow[0].ns, 5000);
+        let reg = MetricsRegistry::new();
+        reg.register("", Arc::new(obs));
+        let snap = reg.snapshot();
+        assert_eq!(snap.histo("op_read_ns").unwrap().count(), 2);
+        assert!(snap.histo("op_write_ns").is_none(), "empty ops are omitted");
+    }
+
+    #[test]
+    fn slow_log_keeps_topk() {
+        let obs = FsObs::new(8);
+        for i in 0..100u64 {
+            obs.record_op(OpKind::Write, i, i);
+        }
+        let slow = obs.slowest();
+        assert_eq!(slow.len(), SLOW_CAP);
+        assert_eq!(slow[0].ns, 99);
+        assert_eq!(slow.last().unwrap().ns, 100 - SLOW_CAP as u64);
+    }
+
+    #[test]
+    fn labels_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for op in ALL_OPS {
+            assert!(seen.insert(op.label()));
+            assert_eq!(ALL_OPS[op as usize], op);
+        }
+    }
+}

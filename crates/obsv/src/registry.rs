@@ -1,0 +1,408 @@
+//! The metrics registry: one place every subsystem's counters, gauges and
+//! histograms funnel through.
+//!
+//! Subsystems keep their own cheap atomic counter structs and implement
+//! [`MetricSource`]; the registry holds `Arc`s to them and materialises a
+//! [`RegistrySnapshot`] on demand. Snapshots support deltas (`since`),
+//! Prometheus-style text exposition and a JSON rendering, so one mechanism
+//! serves interactive dumps, per-phase workload reports and tests.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::histo::HistoSnapshot;
+
+/// Receives one subsystem's metrics during collection.
+pub trait Visitor {
+    /// A monotonically increasing counter.
+    fn counter(&mut self, name: &str, value: u64);
+    /// A point-in-time level (may go down).
+    fn gauge(&mut self, name: &str, value: u64);
+    /// A sample distribution.
+    fn histo(&mut self, name: &str, snap: HistoSnapshot);
+}
+
+/// Anything that can report metrics into a [`Visitor`].
+pub trait MetricSource: Send + Sync {
+    /// Reports every metric this source owns. Must be cheap enough to call
+    /// at phase boundaries (no heavy locks, no I/O).
+    fn collect(&self, out: &mut dyn Visitor);
+}
+
+/// A handle to a registry-owned counter (for code without its own stats
+/// struct, e.g. experiment drivers marking phases).
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// The registry. Cloneable via `Arc`; all methods take `&self`.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    sources: Mutex<Vec<(String, Arc<dyn MetricSource>)>>,
+    owned: Mutex<Vec<(String, Counter)>>,
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsRegistry")
+            .field("sources", &self.sources.lock().unwrap().len())
+            .field("owned", &self.owned.lock().unwrap().len())
+            .finish()
+    }
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Registers a source. `scope` is prepended to every metric name the
+    /// source reports (use `""` for sources whose names are already
+    /// prefixed; a non-empty scope disambiguates multiple instances).
+    pub fn register(&self, scope: &str, source: Arc<dyn MetricSource>) {
+        self.sources
+            .lock()
+            .unwrap()
+            .push((scope.to_string(), source));
+    }
+
+    /// Returns the registry-owned counter named `name`, creating it at
+    /// zero on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut owned = self.owned.lock().unwrap();
+        if let Some((_, c)) = owned.iter().find(|(n, _)| n == name) {
+            return c.clone();
+        }
+        let c = Counter(Arc::new(AtomicU64::new(0)));
+        owned.push((name.to_string(), c.clone()));
+        c
+    }
+
+    /// Collects every source into a snapshot. Metrics reported under the
+    /// same final name are summed (counters, histograms) or last-wins
+    /// (gauges).
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let mut snap = RegistrySnapshot::default();
+        for (name, c) in self.owned.lock().unwrap().iter() {
+            *snap.counters.entry(name.clone()).or_insert(0) += c.get();
+        }
+        for (scope, source) in self.sources.lock().unwrap().iter() {
+            let mut v = ScopedVisitor {
+                scope,
+                snap: &mut snap,
+            };
+            source.collect(&mut v);
+        }
+        snap
+    }
+}
+
+struct ScopedVisitor<'a> {
+    scope: &'a str,
+    snap: &'a mut RegistrySnapshot,
+}
+
+impl ScopedVisitor<'_> {
+    fn name(&self, name: &str) -> String {
+        format!("{}{}", self.scope, name)
+    }
+}
+
+impl Visitor for ScopedVisitor<'_> {
+    fn counter(&mut self, name: &str, value: u64) {
+        *self.snap.counters.entry(self.name(name)).or_insert(0) += value;
+    }
+
+    fn gauge(&mut self, name: &str, value: u64) {
+        self.snap.gauges.insert(self.name(name), value);
+    }
+
+    fn histo(&mut self, name: &str, snap: HistoSnapshot) {
+        match self.snap.histos.entry(self.name(name)) {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(snap);
+            }
+            std::collections::btree_map::Entry::Occupied(mut e) => e.get_mut().merge(&snap),
+        }
+    }
+}
+
+/// All metrics at one instant, keyed by final (scoped) name.
+#[derive(Debug, Clone, Default)]
+pub struct RegistrySnapshot {
+    /// Monotonic counters.
+    pub counters: BTreeMap<String, u64>,
+    /// Levels.
+    pub gauges: BTreeMap<String, u64>,
+    /// Distributions.
+    pub histos: BTreeMap<String, HistoSnapshot>,
+}
+
+impl RegistrySnapshot {
+    /// A counter's value (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// A gauge's value (0 when absent).
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// A histogram by name.
+    pub fn histo(&self, name: &str) -> Option<&HistoSnapshot> {
+        self.histos.get(name)
+    }
+
+    /// The delta from `earlier` to `self`: counters and histograms are
+    /// diffed (a name absent earlier counts from zero), gauges keep their
+    /// later value.
+    pub fn since(&self, earlier: &RegistrySnapshot) -> RegistrySnapshot {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, &v)| (k.clone(), v.saturating_sub(earlier.counter(k))))
+            .collect();
+        let histos = self
+            .histos
+            .iter()
+            .map(|(k, v)| {
+                let d = match earlier.histos.get(k) {
+                    Some(e) => v.since(e),
+                    None => v.clone(),
+                };
+                (k.clone(), d)
+            })
+            .collect();
+        RegistrySnapshot {
+            counters,
+            gauges: self.gauges.clone(),
+            histos,
+        }
+    }
+
+    /// Prometheus text exposition (counters, gauges, and histograms as
+    /// summaries with quantile labels).
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
+        }
+        for (name, h) in &self.histos {
+            let (p50, p90, p99, p999) = h.percentiles();
+            out.push_str(&format!("# TYPE {name} summary\n"));
+            for (q, v) in [("0.5", p50), ("0.9", p90), ("0.99", p99), ("0.999", p999)] {
+                out.push_str(&format!("{name}{{quantile=\"{q}\"}} {v}\n"));
+            }
+            out.push_str(&format!("{name}_sum {}\n", h.sum()));
+            out.push_str(&format!("{name}_count {}\n", h.count()));
+            out.push_str(&format!("{name}_max {}\n", h.max()));
+        }
+        out
+    }
+
+    /// JSON rendering (stable key order; histograms as percentile
+    /// summaries).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        push_map(
+            &mut out,
+            self.counters.iter().map(|(k, v)| (k, v.to_string())),
+        );
+        out.push_str("},\"gauges\":{");
+        push_map(
+            &mut out,
+            self.gauges.iter().map(|(k, v)| (k, v.to_string())),
+        );
+        out.push_str("},\"histos\":{");
+        push_map(
+            &mut out,
+            self.histos.iter().map(|(k, h)| {
+                let (p50, p90, p99, p999) = h.percentiles();
+                (
+                    k,
+                    format!(
+                        "{{\"count\":{},\"sum\":{},\"mean\":{:.1},\"p50\":{},\"p90\":{},\"p99\":{},\"p999\":{},\"max\":{}}}",
+                        h.count(),
+                        h.sum(),
+                        h.mean(),
+                        p50,
+                        p90,
+                        p99,
+                        p999,
+                        h.max()
+                    ),
+                )
+            }),
+        );
+        out.push_str("}}");
+        out
+    }
+}
+
+fn push_map<'a>(out: &mut String, entries: impl Iterator<Item = (&'a String, String)>) {
+    let mut first = true;
+    for (k, v) in entries {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!("\"{}\":{}", escape_json(k), v));
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::histo::Histo;
+
+    struct FakeSource {
+        hits: AtomicU64,
+    }
+
+    impl MetricSource for FakeSource {
+        fn collect(&self, out: &mut dyn Visitor) {
+            out.counter("hits", self.hits.load(Ordering::Relaxed));
+            out.gauge("level", 3);
+            let h = Histo::new();
+            h.record(10);
+            h.record(20);
+            out.histo("lat_ns", h.snapshot());
+        }
+    }
+
+    #[test]
+    fn scoped_collection_and_lookup() {
+        let reg = MetricsRegistry::new();
+        let src = Arc::new(FakeSource {
+            hits: AtomicU64::new(5),
+        });
+        reg.register("fs0_", src.clone());
+        reg.register("fs1_", src.clone());
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("fs0_hits"), 5);
+        assert_eq!(snap.counter("fs1_hits"), 5);
+        assert_eq!(snap.counter("absent"), 0);
+        assert_eq!(snap.gauge("fs0_level"), 3);
+        assert_eq!(snap.histo("fs0_lat_ns").unwrap().count(), 2);
+    }
+
+    #[test]
+    fn same_name_sources_sum() {
+        let reg = MetricsRegistry::new();
+        let a = Arc::new(FakeSource {
+            hits: AtomicU64::new(2),
+        });
+        let b = Arc::new(FakeSource {
+            hits: AtomicU64::new(3),
+        });
+        reg.register("", a);
+        reg.register("", b);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("hits"), 5);
+        assert_eq!(snap.histo("lat_ns").unwrap().count(), 4);
+    }
+
+    #[test]
+    fn owned_counters_and_snapshot_monotonicity() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("phases_done");
+        let c2 = reg.counter("phases_done");
+        c.inc();
+        c2.add(2);
+        assert_eq!(c.get(), 3, "same-name handles share the cell");
+        let s1 = reg.snapshot();
+        c.inc();
+        let s2 = reg.snapshot();
+        // Every counter is monotone across snapshots...
+        for (name, v1) in &s1.counters {
+            assert!(s2.counter(name) >= *v1, "{name} went backwards");
+        }
+        // ...and since() reports exactly the growth.
+        let d = s2.since(&s1);
+        assert_eq!(d.counter("phases_done"), 1);
+    }
+
+    #[test]
+    fn since_diffs_histograms_and_keeps_gauges() {
+        let reg = MetricsRegistry::new();
+        let src = Arc::new(FakeSource {
+            hits: AtomicU64::new(1),
+        });
+        reg.register("", src.clone());
+        let s1 = reg.snapshot();
+        src.hits.store(11, Ordering::Relaxed);
+        let s2 = reg.snapshot();
+        let d = s2.since(&s1);
+        assert_eq!(d.counter("hits"), 10);
+        assert_eq!(d.gauge("level"), 3, "gauges carry the later value");
+        assert_eq!(d.histo("lat_ns").unwrap().count(), 0, "histo unchanged");
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let reg = MetricsRegistry::new();
+        reg.register(
+            "",
+            Arc::new(FakeSource {
+                hits: AtomicU64::new(7),
+            }),
+        );
+        let text = reg.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE hits counter\nhits 7\n"), "{text}");
+        assert!(text.contains("# TYPE level gauge\nlevel 3\n"), "{text}");
+        assert!(text.contains("# TYPE lat_ns summary\n"), "{text}");
+        assert!(text.contains("lat_ns{quantile=\"0.5\"}"), "{text}");
+        assert!(text.contains("lat_ns_count 2\n"), "{text}");
+        assert!(text.contains("lat_ns_max 20\n"), "{text}");
+    }
+
+    #[test]
+    fn json_is_wellformed_enough() {
+        let reg = MetricsRegistry::new();
+        reg.register(
+            "",
+            Arc::new(FakeSource {
+                hits: AtomicU64::new(1),
+            }),
+        );
+        let json = reg.snapshot().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(json.contains("\"hits\":1"), "{json}");
+        assert!(json.contains("\"p50\":"), "{json}");
+        assert_eq!(escape_json("a\"b\\c\n"), "a\\\"b\\\\c\\u000a");
+    }
+}

@@ -76,6 +76,7 @@ pub fn is_empty(dev: &NvmmDevice, mem: &InodeMem) -> Result<bool> {
 /// Adds `name -> ino`. The caller must have verified the name is absent and
 /// holds the directory inode lock; inode-core changes (size growth) ride in
 /// the caller's transaction.
+#[allow(clippy::too_many_arguments)]
 pub fn add(
     dev: &NvmmDevice,
     journal: &Journal,

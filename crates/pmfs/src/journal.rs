@@ -29,13 +29,28 @@
 //! the corresponding DRAM data blocks, and only then commits (paper §4.1).
 
 use std::collections::VecDeque;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use fskit::{FsError, Result};
 use nvmm::{Cat, NvmmDevice, BLOCK_SIZE, CACHELINE};
+use obsv::{TraceEvent, TraceRing};
 use parking_lot::Mutex;
 
 use crate::layout::Layout;
+
+obsv::counter_set! {
+    /// Hot-path journal activity counters.
+    pub struct JournalStats, snapshot JournalSnapshot, prefix "pmfs_journal_" {
+        /// Transactions opened.
+        pub begins,
+        /// Transactions committed.
+        pub commits,
+        /// Transactions aborted (rolled back immediately).
+        pub aborts,
+        /// Undo entries appended.
+        pub undo_entries,
+    }
+}
 
 /// Size of one log entry: one cacheline.
 pub const ENTRY_SIZE: usize = CACHELINE;
@@ -169,6 +184,10 @@ pub struct Journal {
     /// Region capacity in entries (one generation's budget).
     capacity: u64,
     inner: Mutex<JInner>,
+    stats: Arc<JournalStats>,
+    /// Trace ring shared with the owning file system, installed after
+    /// mount (commits then appear on the same timeline as writeback).
+    trace: OnceLock<Arc<TraceRing>>,
 }
 
 impl Journal {
@@ -205,7 +224,21 @@ impl Journal {
                 next_txid: 1,
                 txs: VecDeque::new(),
             }),
+            stats: Arc::new(JournalStats::new()),
+            trace: OnceLock::new(),
         })
+    }
+
+    /// Journal activity counters (registrable as an
+    /// [`obsv::MetricSource`]).
+    pub fn stats(&self) -> &Arc<JournalStats> {
+        &self.stats
+    }
+
+    /// Installs the trace ring commits are reported into. Later calls are
+    /// ignored (the first mounted owner wins).
+    pub fn set_trace(&self, ring: Arc<TraceRing>) {
+        let _ = self.trace.set(ring);
     }
 
     /// Scans the current generation's entries and rolls back every
@@ -280,6 +313,9 @@ impl Journal {
             start,
             committed: false,
         });
+        self.stats
+            .begins
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         Ok(TxHandle { txid })
     }
 
@@ -353,6 +389,9 @@ impl Journal {
             off += chunk as u64;
             remaining -= chunk;
         }
+        self.stats
+            .undo_entries
+            .fetch_add(needed, std::sync::atomic::Ordering::Relaxed);
         // Entries durable (each slot was flushed) and ordered before the
         // caller's in-place updates.
         self.dev.sfence();
@@ -404,6 +443,16 @@ impl Journal {
         )
         .expect("reserved commit slot");
         self.dev.sfence();
+        self.stats
+            .commits
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        if let Some(ring) = self.trace.get() {
+            let live = inner.tail;
+            ring.emit(self.dev.env().now(), || TraceEvent::JournalCommit {
+                txid: tx.txid as u64,
+                log_entries: live,
+            });
+        }
         self.resolve_locked(&mut inner, tx.txid);
     }
 
@@ -446,6 +495,9 @@ impl Journal {
         )
         .expect("reserved commit slot");
         self.dev.sfence();
+        self.stats
+            .aborts
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         self.resolve_locked(&mut inner, tx.txid);
     }
 }

@@ -4,59 +4,10 @@ use nvmm::ledger::Ledger;
 use nvmm::stats::StatsSnapshot;
 
 /// Syscall categories tracked by the runner (the Fig 12 breakdown uses
-/// `Read`, `Write`, `Unlink` and `Fsync`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[repr(usize)]
-pub enum OpKind {
-    Open = 0,
-    Close = 1,
-    Read = 2,
-    Write = 3,
-    Fsync = 4,
-    Unlink = 5,
-    Mkdir = 6,
-    Readdir = 7,
-    Stat = 8,
-    Rename = 9,
-    Truncate = 10,
-}
-
-/// Number of [`OpKind`] variants.
-pub const NOPS: usize = 11;
-
-/// All op kinds in discriminant order.
-pub const ALL_OPS: [OpKind; NOPS] = [
-    OpKind::Open,
-    OpKind::Close,
-    OpKind::Read,
-    OpKind::Write,
-    OpKind::Fsync,
-    OpKind::Unlink,
-    OpKind::Mkdir,
-    OpKind::Readdir,
-    OpKind::Stat,
-    OpKind::Rename,
-    OpKind::Truncate,
-];
-
-impl OpKind {
-    /// Stable label for reports.
-    pub fn label(self) -> &'static str {
-        match self {
-            OpKind::Open => "open",
-            OpKind::Close => "close",
-            OpKind::Read => "read",
-            OpKind::Write => "write",
-            OpKind::Fsync => "fsync",
-            OpKind::Unlink => "unlink",
-            OpKind::Mkdir => "mkdir",
-            OpKind::Readdir => "readdir",
-            OpKind::Stat => "stat",
-            OpKind::Rename => "rename",
-            OpKind::Truncate => "truncate",
-        }
-    }
-}
+/// `Read`, `Write`, `Unlink` and `Fsync`). Re-exported from `obsv` so the
+/// runner's accounting and the observability layer's histograms share one
+/// enum.
+pub use obsv::{OpKind, ALL_OPS, NOPS};
 
 /// Metrics collected by one actor (merged into a [`RunReport`]).
 #[derive(Debug, Clone, Default)]
@@ -106,6 +57,9 @@ pub struct RunReport {
     pub ledger: Ledger,
     /// Device counter delta over the run (NVMM write bytes for Fig 9b).
     pub device: StatsSnapshot,
+    /// Metrics-registry delta over the run, when a registry was attached
+    /// via [`crate::runner::Runner::with_registry`].
+    pub registry: Option<obsv::RegistrySnapshot>,
     /// Number of actors (threads).
     pub actors: usize,
 }

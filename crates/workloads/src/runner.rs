@@ -185,6 +185,7 @@ pub struct Runner {
     env: Arc<SimEnv>,
     fs: Arc<dyn FileSystem>,
     device: Option<Arc<NvmmDevice>>,
+    registry: Option<Arc<obsv::MetricsRegistry>>,
 }
 
 impl Runner {
@@ -194,12 +195,19 @@ impl Runner {
             env,
             fs,
             device: None,
+            registry: None,
         }
     }
 
     /// Also captures this device's counter delta into the report (Fig 9b).
     pub fn with_device(mut self, dev: Arc<NvmmDevice>) -> Runner {
         self.device = Some(dev);
+        self
+    }
+
+    /// Also captures this registry's snapshot delta into the report.
+    pub fn with_registry(mut self, registry: Arc<obsv::MetricsRegistry>) -> Runner {
+        self.registry = Some(registry);
         self
     }
 
@@ -216,6 +224,7 @@ impl Runner {
         let start = self.env.now();
         let ledger_before = ledger::snapshot();
         let dev_before = self.device.as_ref().map(|d| d.stats().snapshot());
+        let reg_before = self.registry.as_ref().map(|r| r.snapshot());
         let n = actors.len();
         let mut actors = actors;
         let mut ctxs: Vec<Ctx<'_>> = (0..n)
@@ -276,6 +285,10 @@ impl Runner {
                         .since(&dev_before.expect("snapshot taken"))
                 })
                 .unwrap_or_default(),
+            registry: self.registry.as_ref().map(|r| {
+                r.snapshot()
+                    .since(reg_before.as_ref().expect("snapshot taken"))
+            }),
             actors: n,
         }
     }
@@ -283,6 +296,7 @@ impl Runner {
     fn run_spin(&self, actors: Vec<Box<dyn Actor>>, limit: RunLimit, seed: u64) -> RunReport {
         let start = self.env.now();
         let dev_before = self.device.as_ref().map(|d| d.stats().snapshot());
+        let reg_before = self.registry.as_ref().map(|r| r.snapshot());
         let n = actors.len();
         let results: Vec<(ActorMetrics, nvmm::ledger::Ledger)> = std::thread::scope(|scope| {
             let mut handles = Vec::new();
@@ -334,6 +348,10 @@ impl Runner {
                         .since(&dev_before.expect("snapshot taken"))
                 })
                 .unwrap_or_default(),
+            registry: self.registry.as_ref().map(|r| {
+                r.snapshot()
+                    .since(reg_before.as_ref().expect("snapshot taken"))
+            }),
             actors: n,
         }
     }

@@ -7,6 +7,7 @@ use extfs::{ExtMode, ExtOptions, Extfs};
 use fskit::{FileSystem, Result};
 use hinfs::{Hinfs, HinfsConfig};
 use nvmm::{CostModel, NvmmDevice, SimEnv, TimeMode, BLOCK_SIZE};
+use obsv::{FsObs, MetricsRegistry};
 use pmfs::{Pmfs, PmfsOptions};
 
 /// The systems of the evaluation.
@@ -80,6 +81,11 @@ pub struct SystemConfig {
     pub journal_blocks: u64,
     /// Inode slots.
     pub inode_count: u64,
+    /// Record per-op latency histograms (off by default: experiments that
+    /// only need throughput skip the two extra clock reads per syscall).
+    pub obsv_timing: bool,
+    /// Record structured trace events into the ring (off by default).
+    pub obsv_trace: bool,
 }
 
 impl Default for SystemConfig {
@@ -92,6 +98,8 @@ impl Default for SystemConfig {
             cache_pages: 16384,
             journal_blocks: 2048,
             inode_count: 65536,
+            obsv_timing: false,
+            obsv_trace: false,
         }
     }
 }
@@ -123,7 +131,19 @@ pub struct System {
     /// The concrete HiNFS handle when `kind` is a HiNFS variant (for
     /// policy statistics such as the Fig 6 accuracy counters).
     pub hinfs: Option<Arc<Hinfs>>,
+    /// Metrics registry with the device, file system and journal sources
+    /// already registered; hand it to `Runner::with_registry` for
+    /// per-phase deltas.
+    pub registry: Arc<MetricsRegistry>,
+    /// The file system's observability bundle (histograms, slow log,
+    /// trace ring) when the mounted system has one (HiNFS and the ext
+    /// family; PMFS only exposes journal counters).
+    pub obs: Option<Arc<FsObs>>,
 }
+
+/// What a mount produces: the trait object, the concrete HiNFS handle
+/// when applicable, and the observability bundle when one exists.
+type Mounted = (Arc<dyn FileSystem>, Option<Arc<Hinfs>>, Option<Arc<FsObs>>);
 
 /// Builds (formats and mounts) a system of the given kind.
 pub fn build(kind: SystemKind, cfg: &SystemConfig) -> Result<System> {
@@ -139,11 +159,32 @@ pub fn build(kind: SystemKind, cfg: &SystemConfig) -> Result<System> {
         cache_pages: cfg.cache_pages,
         ..ExtOptions::default()
     };
-    let (fs, hinfs): (Arc<dyn FileSystem>, Option<Arc<Hinfs>>) = match kind {
-        SystemKind::Pmfs => (Pmfs::mkfs(dev.clone(), popts)?, None),
-        SystemKind::Ext4Dax => (Extfs::mkfs(dev.clone(), ExtMode::Ext4Dax, eopts)?, None),
-        SystemKind::Ext2Bd => (Extfs::mkfs(dev.clone(), ExtMode::Ext2, eopts)?, None),
-        SystemKind::Ext4Bd => (Extfs::mkfs(dev.clone(), ExtMode::Ext4, eopts)?, None),
+    let registry = Arc::new(MetricsRegistry::new());
+    registry.register("", dev.clone());
+    let (fs, hinfs, obs): Mounted = match kind {
+        SystemKind::Pmfs => {
+            let p = Pmfs::mkfs(dev.clone(), popts)?;
+            registry.register("", p.journal().stats().clone());
+            (p, None, None)
+        }
+        SystemKind::Ext4Dax => {
+            let e = Extfs::mkfs(dev.clone(), ExtMode::Ext4Dax, eopts)?;
+            registry.register("", e.clone());
+            let obs = e.obs().clone();
+            (e, None, Some(obs))
+        }
+        SystemKind::Ext2Bd => {
+            let e = Extfs::mkfs(dev.clone(), ExtMode::Ext2, eopts)?;
+            registry.register("", e.clone());
+            let obs = e.obs().clone();
+            (e, None, Some(obs))
+        }
+        SystemKind::Ext4Bd => {
+            let e = Extfs::mkfs(dev.clone(), ExtMode::Ext4, eopts)?;
+            registry.register("", e.clone());
+            let obs = e.obs().clone();
+            (e, None, Some(obs))
+        }
         SystemKind::Hinfs | SystemKind::HinfsNclfw | SystemKind::HinfsWb => {
             let mut hcfg = HinfsConfig::default().with_buffer_bytes(cfg.buffer_bytes);
             if kind == SystemKind::HinfsNclfw {
@@ -153,15 +194,24 @@ pub fn build(kind: SystemKind, cfg: &SystemConfig) -> Result<System> {
                 hcfg = hcfg.wb_only();
             }
             let h = Hinfs::mkfs(dev.clone(), popts, hcfg)?;
-            (h.clone(), Some(h))
+            registry.register("", h.clone());
+            registry.register("", h.pmfs().journal().stats().clone());
+            let obs = h.obs().clone();
+            (h.clone(), Some(h), Some(obs))
         }
     };
+    if let Some(obs) = &obs {
+        obs.set_timing(cfg.obsv_timing);
+        obs.set_tracing(cfg.obsv_trace);
+    }
     Ok(System {
         kind,
         fs,
         dev,
         env,
         hinfs,
+        registry,
+        obs,
     })
 }
 
@@ -191,11 +241,32 @@ pub fn remount_with(
         cache_pages: cfg.cache_pages,
         ..ExtOptions::default()
     };
-    let (fs, hinfs): (Arc<dyn FileSystem>, Option<Arc<Hinfs>>) = match kind {
-        SystemKind::Pmfs => (Pmfs::mount(dev.clone())?, None),
-        SystemKind::Ext4Dax => (Extfs::mount(dev.clone(), ExtMode::Ext4Dax, eopts)?, None),
-        SystemKind::Ext2Bd => (Extfs::mount(dev.clone(), ExtMode::Ext2, eopts)?, None),
-        SystemKind::Ext4Bd => (Extfs::mount(dev.clone(), ExtMode::Ext4, eopts)?, None),
+    let registry = Arc::new(MetricsRegistry::new());
+    registry.register("", dev.clone());
+    let (fs, hinfs, obs): Mounted = match kind {
+        SystemKind::Pmfs => {
+            let p = Pmfs::mount(dev.clone())?;
+            registry.register("", p.journal().stats().clone());
+            (p, None, None)
+        }
+        SystemKind::Ext4Dax => {
+            let e = Extfs::mount(dev.clone(), ExtMode::Ext4Dax, eopts)?;
+            registry.register("", e.clone());
+            let obs = e.obs().clone();
+            (e, None, Some(obs))
+        }
+        SystemKind::Ext2Bd => {
+            let e = Extfs::mount(dev.clone(), ExtMode::Ext2, eopts)?;
+            registry.register("", e.clone());
+            let obs = e.obs().clone();
+            (e, None, Some(obs))
+        }
+        SystemKind::Ext4Bd => {
+            let e = Extfs::mount(dev.clone(), ExtMode::Ext4, eopts)?;
+            registry.register("", e.clone());
+            let obs = e.obs().clone();
+            (e, None, Some(obs))
+        }
         SystemKind::Hinfs | SystemKind::HinfsNclfw | SystemKind::HinfsWb => {
             let mut hcfg = HinfsConfig::default().with_buffer_bytes(cfg.buffer_bytes);
             if kind == SystemKind::HinfsNclfw {
@@ -205,15 +276,24 @@ pub fn remount_with(
                 hcfg = hcfg.wb_only();
             }
             let h = Hinfs::mount(dev.clone(), hcfg)?;
-            (h.clone(), Some(h))
+            registry.register("", h.clone());
+            registry.register("", h.pmfs().journal().stats().clone());
+            let obs = h.obs().clone();
+            (h.clone(), Some(h), Some(obs))
         }
     };
+    if let Some(obs) = &obs {
+        obs.set_timing(cfg.obsv_timing);
+        obs.set_tracing(cfg.obsv_trace);
+    }
     Ok(System {
         kind,
         fs,
         dev,
         env,
         hinfs,
+        registry,
+        obs,
     })
 }
 
@@ -256,6 +336,42 @@ mod tests {
                     SystemKind::Hinfs | SystemKind::HinfsNclfw | SystemKind::HinfsWb
                 )
             );
+            let snap = sys.registry.snapshot();
+            assert!(
+                snap.counter("nvmm_bytes_written") > 0,
+                "{}: device source registered",
+                kind.label()
+            );
+            if sys.hinfs.is_some() {
+                assert!(
+                    snap.counters.contains_key("hinfs_buffer_hits"),
+                    "{}: hinfs source registered",
+                    kind.label()
+                );
+            }
         }
+    }
+
+    #[test]
+    fn obsv_flags_enable_histograms_and_trace() {
+        let cfg = SystemConfig {
+            obsv_timing: true,
+            obsv_trace: true,
+            ..SystemConfig::small()
+        };
+        let sys = build(SystemKind::Hinfs, &cfg).unwrap();
+        let obs = sys.obs.as_ref().unwrap();
+        assert!(obs.timing_enabled());
+        assert!(obs.trace.enabled());
+        let fd = sys
+            .fs
+            .open("/t", OpenFlags::RDWR | OpenFlags::CREATE)
+            .unwrap();
+        sys.fs.write(fd, 0, &[7u8; 4096]).unwrap();
+        sys.fs.fsync(fd).unwrap();
+        sys.fs.close(fd).unwrap();
+        assert!(obs.op_histo(obsv::OpKind::Write).snapshot().count() > 0);
+        let snap = sys.registry.snapshot();
+        assert!(snap.histo("op_write_ns").is_some(), "{:?}", snap.histos);
     }
 }

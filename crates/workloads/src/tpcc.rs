@@ -131,7 +131,7 @@ impl Actor for Tpcc {
         ctx.append(wal, &self.buf[..rec])?;
         ctx.fsync(wal)?;
         self.txns += 1;
-        if self.txns % self.params.checkpoint_every == 0 {
+        if self.txns.is_multiple_of(self.params.checkpoint_every) {
             ctx.fsync(table)?;
         }
         Ok(true)
@@ -160,8 +160,10 @@ mod tests {
         .unwrap();
         env.rebase();
         let runner = Runner::new(env, fs);
-        let mut params = TpccParams::default();
-        params.table_size = 2 << 20;
+        let params = TpccParams {
+            table_size: 2 << 20,
+            ..TpccParams::default()
+        };
         let t = Tpcc::new(params);
         let r = runner.run(vec![Box::new(t)], RunLimit::steps(101), 17);
         // Step 1 materializes the table (not fsynced); 100 transactions.

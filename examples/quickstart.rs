@@ -23,8 +23,7 @@ fn main() {
     .expect("mkfs");
 
     println!(
-        "mounted {} on a {} MiB emulated NVMM device",
-        "hinfs",
+        "mounted hinfs on a {} MiB emulated NVMM device",
         dev.len() >> 20
     );
 

@@ -1,0 +1,240 @@
+//! A minimal, API-compatible stand-in for the `parking_lot` crate, backed
+//! by `std::sync`. The workspace vendors it so a sandboxed (offline) build
+//! never needs the crates-io registry. Only the surface the workspace
+//! actually uses is provided: `Mutex`, `RwLock`, `Condvar` with
+//! `parking_lot`'s poison-free guard semantics.
+
+use std::sync;
+use std::time::Duration;
+
+/// A mutex whose `lock()` returns the guard directly (no poison `Result`).
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
+
+/// Guard for [`Mutex`]. The inner `Option` is only ever `None` transiently
+/// inside [`Condvar::wait`], which needs to move the std guard by value.
+#[derive(Debug)]
+pub struct MutexGuard<'a, T: ?Sized>(Option<sync::MutexGuard<'a, T>>);
+
+impl<T> Mutex<T> {
+    pub const fn new(t: T) -> Self {
+        Mutex(sync::Mutex::new(t))
+    }
+
+    pub fn into_inner(self) -> T {
+        unpoison(self.0.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard(Some(unpoison(self.0.lock())))
+    }
+
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(g) => Some(MutexGuard(Some(g))),
+            Err(sync::TryLockError::Poisoned(p)) => Some(MutexGuard(Some(p.into_inner()))),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        unpoison(self.0.get_mut())
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.0.as_deref().expect("guard present outside wait")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.0.as_deref_mut().expect("guard present outside wait")
+    }
+}
+
+/// A condition variable operating on [`MutexGuard`] in place, like
+/// `parking_lot`'s.
+#[derive(Debug, Default)]
+pub struct Condvar(sync::Condvar);
+
+/// Result of [`Condvar::wait_for`].
+#[derive(Debug, Clone, Copy)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+impl Condvar {
+    pub const fn new() -> Self {
+        Condvar(sync::Condvar::new())
+    }
+
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let g = guard.0.take().expect("guard present");
+        guard.0 = Some(unpoison(self.0.wait(g)));
+    }
+
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        let g = guard.0.take().expect("guard present");
+        let (g, res) = match self.0.wait_timeout(g, timeout) {
+            Ok(pair) => pair,
+            Err(p) => p.into_inner(),
+        };
+        guard.0 = Some(g);
+        WaitTimeoutResult(res.timed_out())
+    }
+
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+}
+
+/// A reader-writer lock with `parking_lot`'s guard-returning API.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized>(sync::RwLock<T>);
+
+pub struct RwLockReadGuard<'a, T: ?Sized>(sync::RwLockReadGuard<'a, T>);
+pub struct RwLockWriteGuard<'a, T: ?Sized>(sync::RwLockWriteGuard<'a, T>);
+
+impl<T> RwLock<T> {
+    pub const fn new(t: T) -> Self {
+        RwLock(sync::RwLock::new(t))
+    }
+
+    pub fn into_inner(self) -> T {
+        unpoison(self.0.into_inner())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        RwLockReadGuard(unpoison(self.0.read()))
+    }
+
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        RwLockWriteGuard(unpoison(self.0.write()))
+    }
+
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        match self.0.try_read() {
+            Ok(g) => Some(RwLockReadGuard(g)),
+            Err(sync::TryLockError::Poisoned(p)) => Some(RwLockReadGuard(p.into_inner())),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        match self.0.try_write() {
+            Ok(g) => Some(RwLockWriteGuard(g)),
+            Err(sync::TryLockError::Poisoned(p)) => Some(RwLockWriteGuard(p.into_inner())),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        unpoison(self.0.get_mut())
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
+/// parking_lot has no lock poisoning; a panic while holding a lock leaves
+/// the data as-is. Match that by always taking the inner value.
+fn unpoison<G>(r: Result<G, sync::PoisonError<G>>) -> G {
+    r.unwrap_or_else(sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_roundtrip() {
+        let m = Mutex::new(1);
+        *m.lock() += 41;
+        assert_eq!(*m.lock(), 42);
+        assert!(m.try_lock().is_some());
+        let g = m.lock();
+        assert!(m.try_lock().is_none());
+        drop(g);
+    }
+
+    #[test]
+    fn rwlock_roundtrip() {
+        let l = RwLock::new(7);
+        assert_eq!(*l.read(), 7);
+        *l.write() = 8;
+        let r = l.read();
+        assert!(l.try_write().is_none());
+        assert!(l.try_read().is_some());
+        drop(r);
+        assert_eq!(*l.try_write().unwrap(), 8);
+    }
+
+    #[test]
+    fn condvar_wakes_and_times_out() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = pair.clone();
+        let t = std::thread::spawn(move || {
+            let (m, cv) = &*p2;
+            let mut flag = m.lock();
+            *flag = true;
+            cv.notify_all();
+        });
+        let (m, cv) = &*pair;
+        let mut flag = m.lock();
+        while !*flag {
+            cv.wait(&mut flag);
+        }
+        t.join().unwrap();
+        let res = cv.wait_for(&mut flag, Duration::from_millis(1));
+        assert!(res.timed_out());
+    }
+
+    #[test]
+    fn no_poisoning() {
+        let m = Arc::new(Mutex::new(5));
+        let m2 = m.clone();
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison attempt");
+        })
+        .join();
+        assert_eq!(*m.lock(), 5, "lock stays usable after a panic");
+    }
+}

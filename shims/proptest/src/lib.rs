@@ -1,0 +1,376 @@
+//! A minimal, API-compatible stand-in for the `proptest` crate, vendored so
+//! the workspace's property tests run in a sandboxed (offline) build.
+//!
+//! It keeps proptest's *surface* — `proptest!`, strategies over integer
+//! ranges and tuples, `prop_map`, `prop_oneof!`, `Just`, `any`,
+//! `prop::collection::vec`, `prop_assert_eq!` — but not its engine: cases
+//! are generated from a deterministic per-test seed and failures are plain
+//! panics with **no shrinking**. That trades minimal counter-examples for
+//! zero external dependencies; the generation distribution is uniform like
+//! proptest's default for these strategy kinds.
+
+use rand::{Rng, SeedableRng};
+
+/// The RNG driving case generation (deterministic per test name).
+pub type TestRng = rand::rngs::SmallRng;
+
+/// Run-time configuration. Only `cases` has an effect here;
+/// `max_shrink_iters` is accepted for source compatibility with real
+/// proptest configs but ignored (this shim never shrinks).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases per property.
+    pub cases: u32,
+    /// Ignored (no shrinking engine).
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256 cases; 64 keeps the suite's heavier
+        // model-checking properties fast while still exploring broadly.
+        ProptestConfig {
+            cases: 64,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// FNV-1a, used to derive a stable per-test seed from its name.
+pub fn fnv(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1_0000_01b3);
+    }
+    h
+}
+
+/// Creates the deterministic RNG for one property test.
+pub fn new_test_rng(name: &str) -> TestRng {
+    TestRng::seed_from_u64(fnv(name))
+}
+
+/// A value generator. Unlike real proptest there is no value tree and no
+/// shrinking: `generate` directly produces a value.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { s: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy (what `prop_oneof!` arms become).
+pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (**self).generate(rng)
+    }
+}
+
+/// `.prop_map` combinator.
+pub struct Map<S, F> {
+    s: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.s.generate(rng))
+    }
+}
+
+/// Constant strategy.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Types with a canonical full-domain strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Full-domain strategy for an [`Arbitrary`] type.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// `any::<T>()` — any value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Weighted union of strategies (what `prop_oneof!` builds).
+pub struct OneOf<V> {
+    pub arms: Vec<(u32, BoxedStrategy<V>)>,
+}
+
+impl<V> Strategy for OneOf<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let total: u64 = self.arms.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total > 0, "prop_oneof! needs a positive total weight");
+        let mut pick = rng.gen_range(0..total);
+        for (w, s) in &self.arms {
+            if pick < *w as u64 {
+                return s.generate(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("weighted pick within total")
+    }
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Strategy producing `Vec`s with a length drawn from `lo..hi`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        lo: usize,
+        hi: usize,
+    }
+
+    /// `prop::collection::vec(element_strategy, length_range)`.
+    pub fn vec<S: Strategy>(elem: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy {
+            elem,
+            lo: len.start,
+            hi: len.end,
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.lo..self.hi);
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// The `proptest!` block: expands each `#[test] fn name(pat in strategy)`
+/// into a plain test that runs `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_fns! { config = $cfg; $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_fns! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( config = $cfg:expr; ) => {};
+    (
+        config = $cfg:expr;
+        $(#[$meta:meta])*
+        fn $name:ident($arg:pat_param in $strat:expr) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let mut __rng =
+                $crate::new_test_rng(concat!(module_path!(), "::", stringify!($name)));
+            let __strat = $strat;
+            for __case in 0..__cfg.cases {
+                let $arg = $crate::Strategy::generate(&__strat, &mut __rng);
+                $body
+            }
+        }
+        $crate::__proptest_fns! { config = $cfg; $($rest)* }
+    };
+}
+
+/// `prop_assert_eq!` — a plain `assert_eq!` here (failures panic; there is
+/// no shrinking pass to report to).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($t:tt)+) => { assert_eq!($a, $b, $($t)+) };
+}
+
+/// `prop_assert!` — a plain `assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($c:expr $(,)?) => { assert!($c) };
+    ($c:expr, $($t:tt)+) => { assert!($c, $($t)+) };
+}
+
+/// Weighted choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $( $w:expr => $s:expr ),+ $(,)? ) => {
+        $crate::OneOf { arms: vec![ $( ($w as u32, $crate::Strategy::boxed($s)) ),+ ] }
+    };
+    ( $( $s:expr ),+ $(,)? ) => {
+        $crate::OneOf { arms: vec![ $( (1u32, $crate::Strategy::boxed($s)) ),+ ] }
+    };
+}
+
+/// The glob-import surface tests use (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_oneof, proptest, Arbitrary, BoxedStrategy, Just,
+        ProptestConfig, Strategy,
+    };
+
+    /// The `prop::` path exposed by proptest's prelude.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    enum E {
+        A(u8),
+        B,
+    }
+
+    #[test]
+    fn ranges_tuples_map_oneof() {
+        let mut rng = crate::new_test_rng("shim-selftest");
+        let s = prop_oneof![
+            3 => (0u8..4, 1u16..10).prop_map(|(a, _b)| E::A(a)),
+            1 => Just(E::B),
+        ];
+        let mut saw_a = false;
+        let mut saw_b = false;
+        for _ in 0..200 {
+            match s.generate(&mut rng) {
+                E::A(v) => {
+                    assert!(v < 4);
+                    saw_a = true;
+                }
+                E::B => saw_b = true,
+            }
+        }
+        assert!(saw_a && saw_b, "both arms reachable");
+    }
+
+    #[test]
+    fn vec_lengths_in_range() {
+        let mut rng = crate::new_test_rng("vec-len");
+        let s = prop::collection::vec(any::<u8>(), 1..60);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((1..60).contains(&v.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+        #[test]
+        fn macro_respects_bounds(x in 10u64..20) {
+            prop_assert!(x >= 10);
+            prop_assert_eq!(x / 20, 0);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_without_config(v in prop::collection::vec(0u32..5, 1..4)) {
+            prop_assert!(!v.is_empty() && v.len() < 4);
+        }
+    }
+}
