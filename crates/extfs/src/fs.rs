@@ -80,6 +80,8 @@ pub struct Extfs {
     /// Device data blocks dirtied per inode, for ordered-mode fsync.
     dirty_data: Mutex<HashMap<u64, HashSet<u64>>>,
     obs: Arc<FsObs>,
+    /// Journal transactions replayed at mount (0 on a fresh mkfs mount).
+    replayed: u64,
 }
 
 impl Extfs {
@@ -127,8 +129,9 @@ impl Extfs {
         let bd = Arc::new(Nvmmbd::new(dev));
         let cache = Arc::new(BufferCache::new(bd.clone(), opts.cache_pages));
         let (l, _clean) = layout::read_superblock(&cache)?;
+        let mut replayed = 0;
         if mode.journaled() {
-            Jbd::replay(&bd, l.journal_start, l.journal_blocks);
+            replayed = Jbd::replay(&bd, l.journal_start, l.journal_blocks);
             Jbd::format(&bd, l.journal_start);
         }
         let jbd = Jbd::open(
@@ -157,7 +160,13 @@ impl Extfs {
             last_commit: AtomicU64::new(0),
             dirty_data: Mutex::new(HashMap::new()),
             obs: Arc::new(FsObs::default()),
+            replayed,
         }))
+    }
+
+    /// Journal transactions replayed at mount (diagnostics).
+    pub fn recovery_replayed(&self) -> u64 {
+        self.replayed
     }
 
     /// The buffer cache (diagnostics).
@@ -255,6 +264,11 @@ impl Extfs {
         name: &str,
         ftype: FileType,
     ) -> Result<Arc<ExtInodeHandle>> {
+        // Injected ENOSPC: refuse before any allocation so the namespace op
+        // is trivially all-or-nothing.
+        if nvmm::fault::alloc_blocked(self.bd.byte_device()) {
+            return Err(FsError::NoSpace);
+        }
         let now = self.now();
         let ino = self.ialloc.alloc(&self.cache, &self.jbd, now)?;
         let mem = ExtInodeMem::new(ftype, now);
@@ -423,6 +437,11 @@ impl Extfs {
         if data.is_empty() {
             return Ok(off);
         }
+        // Injected ENOSPC: fail the whole write up front with a clean error
+        // rather than part-way through the chunk loop.
+        if nvmm::fault::alloc_blocked(self.bd.byte_device()) {
+            return Err(FsError::NoSpace);
+        }
         let end = off
             .checked_add(data.len() as u64)
             .filter(|&e| e / BLOCK_SIZE as u64 <= blkmap::max_blocks())
@@ -498,6 +517,11 @@ impl Extfs {
     /// fsync core: flush the file's data pages (ordered mode), then commit
     /// the journal (ext4/dax) or flush its inode block (ext2).
     fn fsync_ino(&self, ino: u64) -> Result<()> {
+        // Injected jbd backpressure: refuse the commit before draining the
+        // dirty set so a retry still sees every dirty block.
+        if self.jbd.enabled() && nvmm::fault::journal_blocked(self.bd.byte_device()) {
+            return Err(FsError::JournalFull);
+        }
         let mut blocks: Vec<u64> = {
             let mut dd = self.dirty_data.lock();
             match dd.get_mut(&ino) {

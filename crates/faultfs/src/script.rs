@@ -1,0 +1,189 @@
+//! Scripted operation sequences replayed by the crash enumerator.
+//!
+//! A [`Script`] is a flat list of [`Op`]s over a tiny namespace: files
+//! `/f0../f3` and (always empty) directories `/d0../d1`. Keeping the
+//! namespace flat keeps the durability oracle exact while still exercising
+//! every journaled code path: creation, deletion, rename (including
+//! overwrite), truncation, data writes, fsync and whole-FS sync.
+
+use rand::{Rng, SeedableRng};
+
+/// Number of distinct file slots a script may address.
+pub const MAX_FILES: u8 = 4;
+/// Number of distinct directory slots a script may address.
+pub const MAX_DIRS: u8 = 2;
+/// Per-operation payload cap in bytes.
+pub const MAX_IO: usize = 12 * 1024;
+
+/// Which file system a run targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsKind {
+    /// HiNFS: DRAM write buffer over PMFS (lazy data, eager metadata).
+    Hinfs,
+    /// PMFS: direct in-place data, undo-journaled metadata.
+    Pmfs,
+    /// EXT4 over the NVMMBD block device (jbd2-style redo journal).
+    Ext4,
+}
+
+impl FsKind {
+    /// Every kind, for sweeps.
+    pub const ALL: [FsKind; 3] = [FsKind::Hinfs, FsKind::Pmfs, FsKind::Ext4];
+
+    /// Stable label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            FsKind::Hinfs => "hinfs",
+            FsKind::Pmfs => "pmfs",
+            FsKind::Ext4 => "ext4",
+        }
+    }
+
+    /// Whether an acknowledged data operation (write/append/truncate) is
+    /// already durable when the call returns — the *eager* judgment. True
+    /// for PMFS (in-place non-temporal stores plus a committed metadata
+    /// transaction before return); false for the buffered systems.
+    pub fn write_sync_on_ack(self) -> bool {
+        matches!(self, FsKind::Pmfs)
+    }
+
+    /// Whether an acknowledged namespace operation (create/unlink/mkdir/
+    /// rmdir/rename) is durable when the call returns. True for PMFS and
+    /// HiNFS (the undo-journal transaction commits before the syscall
+    /// returns); false for EXT4, where namespace changes only become
+    /// durable at a jbd commit point.
+    pub fn ns_sync(self) -> bool {
+        !matches!(self, FsKind::Ext4)
+    }
+}
+
+/// One scripted operation. File and directory ids are slot numbers mapped
+/// to paths by [`file_path`] / [`dir_path`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// `open(O_CREAT|O_RDWR)` + `close`.
+    Create { file: u8 },
+    /// Positional write of `len` bytes of `fill` at `off`.
+    Write {
+        file: u8,
+        off: u64,
+        len: usize,
+        fill: u8,
+    },
+    /// Append `len` bytes of `fill`.
+    Append { file: u8, len: usize, fill: u8 },
+    /// `fsync` the file.
+    Fsync { file: u8 },
+    /// Truncate (or zero-extend) to `size`.
+    Truncate { file: u8, size: u64 },
+    /// Remove the file's name.
+    Unlink { file: u8 },
+    /// Rename `from` onto `to` (replacing `to` if it exists).
+    Rename { from: u8, to: u8 },
+    /// Create a directory.
+    Mkdir { dir: u8 },
+    /// Remove a directory (always empty in these scripts).
+    Rmdir { dir: u8 },
+    /// Whole-FS `sync`.
+    Sync,
+    /// Advance simulated time past the periodic writeback/commit interval
+    /// and let background machinery run.
+    Tick,
+}
+
+/// Path of file slot `id`.
+pub fn file_path(id: u8) -> String {
+    format!("/f{id}")
+}
+
+/// Path of directory slot `id`.
+pub fn dir_path(id: u8) -> String {
+    format!("/d{id}")
+}
+
+/// A replayable operation sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Script {
+    /// The operations, executed in order.
+    pub ops: Vec<Op>,
+}
+
+impl Script {
+    /// Generates a deterministic random script of `n_ops` operations.
+    ///
+    /// The distribution favours writes and fsyncs (the interesting
+    /// crash-consistency interleavings) but reaches every op kind. Invalid
+    /// ops (writing an unlinked file, re-creating a live directory) are
+    /// allowed on purpose: replay treats their clean errors as no-ops, so
+    /// they double as error-path coverage.
+    pub fn random(seed: u64, n_ops: usize) -> Script {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let mut ops = Vec::with_capacity(n_ops + 1);
+        // Always start with one file so early crash points land on a
+        // non-trivial namespace.
+        ops.push(Op::Create { file: 0 });
+        while ops.len() < n_ops + 1 {
+            let file = rng.gen_range(0..MAX_FILES);
+            let fill = rng.gen_range(1u8..=255);
+            let op = match rng.gen_range(0u32..23) {
+                0..=2 => Op::Create { file },
+                3..=8 => Op::Write {
+                    file,
+                    off: rng.gen_range(0u64..32 * 1024),
+                    len: rng.gen_range(1..=MAX_IO),
+                    fill,
+                },
+                9..=11 => Op::Append {
+                    file,
+                    len: rng.gen_range(1..=MAX_IO),
+                    fill,
+                },
+                12..=15 => Op::Fsync { file },
+                16 => Op::Truncate {
+                    file,
+                    size: rng.gen_range(0u64..40 * 1024),
+                },
+                17 => Op::Unlink { file },
+                18 => Op::Rename {
+                    from: file,
+                    to: rng.gen_range(0..MAX_FILES),
+                },
+                19 => Op::Mkdir {
+                    dir: rng.gen_range(0..MAX_DIRS),
+                },
+                20 => Op::Rmdir {
+                    dir: rng.gen_range(0..MAX_DIRS),
+                },
+                21 => Op::Sync,
+                _ => Op::Tick,
+            };
+            ops.push(op);
+        }
+        Script { ops }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_scripts_are_deterministic() {
+        let a = Script::random(42, 20);
+        let b = Script::random(42, 20);
+        let c = Script::random(43, 20);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.ops.len(), 21);
+        assert_eq!(a.ops[0], Op::Create { file: 0 });
+    }
+
+    #[test]
+    fn kind_labels_and_judgments() {
+        assert_eq!(FsKind::Pmfs.label(), "pmfs");
+        assert!(FsKind::Pmfs.write_sync_on_ack());
+        assert!(!FsKind::Hinfs.write_sync_on_ack());
+        assert!(FsKind::Hinfs.ns_sync());
+        assert!(!FsKind::Ext4.ns_sync());
+    }
+}

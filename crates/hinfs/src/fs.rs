@@ -275,7 +275,12 @@ impl Hinfs {
         // inode core now; its commit record waits for the buffered data.
         if state.size != old_size || state.blocks != old_blocks {
             let tx = self.begin_tx(ino, state)?;
-            self.inner.log_write_inode(&tx, ino, state)?;
+            if let Err(e) = self.inner.log_write_inode(&tx, ino, state) {
+                // Abort rather than leak the reservation: an open tx record
+                // would pin the journal ring forever.
+                self.inner.journal().abort(tx);
+                return Err(e);
+            }
             let mut sh = self.shared.lock();
             // A reclaim may already have flushed some of this op's blocks
             // (pool pressure mid-write); only still-dirty blocks gate the
@@ -659,18 +664,29 @@ impl Hinfs {
             }
         }
         let tx = self.begin_tx(of.ino, &mut guard)?;
-        if pmfs::file::truncate(
-            self.dev(),
-            self.inner.allocator(),
-            &mut guard,
-            size,
-            self.env.now(),
-        )? {
-            let snap = *guard;
-            self.inner.log_write_inode(&tx, of.ino, &snap)?;
+        let res = (|| -> Result<()> {
+            if pmfs::file::truncate(
+                self.dev(),
+                self.inner.allocator(),
+                &mut guard,
+                size,
+                self.env.now(),
+            )? {
+                let snap = *guard;
+                self.inner.log_write_inode(&tx, of.ino, &snap)?;
+            }
+            Ok(())
+        })();
+        match res {
+            Ok(()) => {
+                self.inner.journal().commit(tx);
+                Ok(())
+            }
+            Err(e) => {
+                self.inner.journal().abort(tx);
+                Err(e)
+            }
         }
-        self.inner.journal().commit(tx);
-        Ok(())
     }
 
     /// Resolves a path to a file inode handle, if it exists and is a file.

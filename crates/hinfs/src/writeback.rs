@@ -292,6 +292,12 @@ impl Hinfs {
     /// One full writeback pass at time `now` (on the caller's clock):
     /// watermark reclaim, then the 30 s dirty-age flush.
     pub(crate) fn wb_pass(&self, now: u64) {
+        // Injected stall: the writeback actor simply makes no progress this
+        // pass. Foreground paths must degrade gracefully (flush-on-demand
+        // via fsync / pool-pressure reclaim in the write path still run).
+        if nvmm::fault::writeback_stalled(self.inner.device()) {
+            return;
+        }
         {
             let sh = self.shared.lock();
             let free = sh.pool().free_count();

@@ -107,6 +107,28 @@ impl Shadow {
         }
     }
 
+    /// Simulates power loss where a subset of the pending lines made it out
+    /// of the cache first: every pending line for which `keep` returns true
+    /// is persisted from `mem` before the crash, the rest are discarded.
+    /// Returns the number of lines kept. Whole lines survive or die — there
+    /// are no sub-line tears, matching real cacheline-granular eviction.
+    pub fn crash_into_partial(
+        &mut self,
+        mem: &mut [u8],
+        mut keep: impl FnMut(usize) -> bool,
+    ) -> usize {
+        let mut kept = 0;
+        for line in 0..self.persistent.len() / CACHELINE {
+            if self.is_pending(line) && keep(line) {
+                let b = line * CACHELINE;
+                self.persistent[b..b + CACHELINE].copy_from_slice(&mem[b..b + CACHELINE]);
+                kept += 1;
+            }
+        }
+        self.crash_into(mem);
+        kept
+    }
+
     /// Simulates power loss: copies the persistent image over the volatile
     /// one, discarding every pending line.
     pub fn crash_into(&mut self, mem: &mut [u8]) {
@@ -174,6 +196,24 @@ mod tests {
         mem[1] = 2;
         sh.persist_now(&mem, 0, 2);
         assert_eq!(sh.pending_lines(), 0);
+    }
+
+    #[test]
+    fn partial_crash_keeps_chosen_lines_only() {
+        let mut mem = vec![0u8; 512];
+        let mut sh = Shadow::new(512);
+        for line in 0..8 {
+            mem[line * 64] = line as u8 + 1;
+            sh.mark_range((line * 64) as u64, 1);
+        }
+        // Keep even lines, lose odd ones.
+        let kept = sh.crash_into_partial(&mut mem, |line| line % 2 == 0);
+        assert_eq!(kept, 4);
+        assert_eq!(sh.pending_lines(), 0);
+        for line in 0..8 {
+            let want = if line % 2 == 0 { line as u8 + 1 } else { 0 };
+            assert_eq!(mem[line * 64], want, "line {line}");
+        }
     }
 
     #[test]

@@ -21,6 +21,7 @@ use std::sync::Arc;
 use parking_lot::{Mutex, RwLock};
 
 use crate::crash::Shadow;
+use crate::fault::{self, BoundaryKind, FaultHook};
 use crate::ledger::Cat;
 use crate::stats::DeviceStats;
 use crate::time::SimEnv;
@@ -33,6 +34,7 @@ pub struct NvmmDevice {
     mem: RwLock<Box<[u8]>>,
     shadow: Option<Mutex<Shadow>>,
     stats: DeviceStats,
+    fault: Arc<FaultHook>,
     len: usize,
 }
 
@@ -57,8 +59,26 @@ impl NvmmDevice {
             mem: RwLock::new(vec![0u8; len].into_boxed_slice()),
             shadow: tracked.then(|| Mutex::new(Shadow::new(len))),
             stats: DeviceStats::new(),
+            fault: FaultHook::new(),
             len,
         })
+    }
+
+    /// The fault-injection hook of this device. Installing a
+    /// [`fault::FaultPlan`] turns every durable store into an observed
+    /// persistence boundary; with no plan the hook costs one relaxed load.
+    pub fn fault_hook(&self) -> &Arc<FaultHook> {
+        &self.fault
+    }
+
+    /// Reports a persistence boundary to the installed fault plan, if any.
+    /// Called after the store's effect (memory + shadow + cost) is applied,
+    /// so a crash fired here models power loss *just after* the store.
+    #[inline]
+    fn fault_boundary(&self, kind: BoundaryKind, off: u64, lines: usize) {
+        if let Some(plan) = self.fault.plan() {
+            plan.on_boundary(kind, off, lines, self.env.now());
+        }
     }
 
     /// Device capacity in bytes.
@@ -137,6 +157,7 @@ impl NvmmDevice {
         self.stats.add_written((lines * CACHELINE) as u64);
         self.env.charge_dram_copy(cat, data.len());
         self.env.nvmm_persist(cat, lines);
+        self.fault_boundary(BoundaryKind::Persist, off, lines);
     }
 
     /// Writes `data` at `off` with regular (cached) stores: *not* durable
@@ -184,12 +205,14 @@ impl NvmmDevice {
         self.stats.add_flush_lines(lines as u64);
         self.stats.add_written((lines * CACHELINE) as u64);
         self.env.nvmm_persist(cat, lines);
+        self.fault_boundary(BoundaryKind::Flush, off, lines);
     }
 
     /// Issues a store fence (ordering point).
     pub fn sfence(&self) {
         self.stats.add_fence();
         self.env.charge_fence();
+        self.fault_boundary(BoundaryKind::Fence, 0, 0);
     }
 
     /// Writes zeroes over `[off, off+len)` with non-temporal stores.
@@ -209,6 +232,7 @@ impl NvmmDevice {
         self.stats.add_written((lines * CACHELINE) as u64);
         self.env.charge_dram_copy(cat, len);
         self.env.nvmm_persist(cat, lines);
+        self.fault_boundary(BoundaryKind::Persist, off, lines);
     }
 
     /// Reads a little-endian `u64` at `off` (must not straddle a cacheline,
@@ -240,6 +264,28 @@ impl NvmmDevice {
             .expect("crash simulation requires a tracked device");
         let mut mem = self.mem.write();
         shadow.lock().crash_into(&mut mem);
+    }
+
+    /// Simulates power loss with a *partial* cache eviction: each pending
+    /// cacheline independently survives (persists) or is lost, decided by a
+    /// deterministic function of `seed` and the line number. Models the
+    /// arbitrary order in which dirty cachelines leave a real cache before
+    /// the power actually dies, producing torn multi-line states that a
+    /// clean [`NvmmDevice::crash`] never shows. Returns how many pending
+    /// lines survived.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device was not created with [`NvmmDevice::new_tracked`].
+    pub fn crash_partial(&self, seed: u64) -> usize {
+        let shadow = self
+            .shadow
+            .as_ref()
+            .expect("crash simulation requires a tracked device");
+        let mut mem = self.mem.write();
+        shadow
+            .lock()
+            .crash_into_partial(&mut mem, |line| fault::mix(seed, line as u64) & 1 == 0)
     }
 
     /// Number of cachelines whose latest content has not been persisted.

@@ -33,6 +33,7 @@
 pub mod cost;
 pub mod crash;
 pub mod device;
+pub mod fault;
 pub mod gate;
 pub mod ledger;
 pub mod stats;
@@ -40,6 +41,7 @@ pub mod time;
 
 pub use cost::CostModel;
 pub use device::NvmmDevice;
+pub use fault::{BoundaryKind, BoundaryRec, CrashSignal, FaultHook, FaultPlan, InjectedFault};
 pub use ledger::{Cat, Ledger};
 pub use stats::DeviceStats;
 pub use time::{SimEnv, TimeMode};

@@ -43,6 +43,19 @@ pub enum TraceEvent {
     /// One periodic writeback pass; `age_flushed` blocks hit the 30 s
     /// dirty-age rule.
     PeriodicPass { age_flushed: u64 },
+    /// Journal recovery started on a mount; `gen` is the journal
+    /// generation being scanned.
+    RecoveryBegin { gen: u64 },
+    /// Journal recovery finished: `txs_undone` uncommitted transactions
+    /// rolled back using `entries_undone` undo records.
+    RecoveryEnd {
+        txs_undone: u64,
+        entries_undone: u64,
+    },
+    /// A fault-injection plan fired: `kind` 0 = crash (power loss), 1 =
+    /// journal-full, 2 = ENOSPC, 3 = writeback stall; `at_boundary` is the
+    /// persistence-boundary count when it fired.
+    FaultInjected { kind: u64, at_boundary: u64 },
 }
 
 impl TraceEvent {
@@ -63,6 +76,12 @@ impl TraceEvent {
             } => (4 | (u64::from(to_lazy) << 8), [ino, iblk, n_cw, n_cf]),
             TraceEvent::JournalCommit { txid, log_entries } => (5, [txid, log_entries, 0, 0]),
             TraceEvent::PeriodicPass { age_flushed } => (6, [age_flushed, 0, 0, 0]),
+            TraceEvent::RecoveryBegin { gen } => (7, [gen, 0, 0, 0]),
+            TraceEvent::RecoveryEnd {
+                txs_undone,
+                entries_undone,
+            } => (8, [txs_undone, entries_undone, 0, 0]),
+            TraceEvent::FaultInjected { kind, at_boundary } => (9, [kind, at_boundary, 0, 0]),
         }
     }
 
@@ -93,6 +112,15 @@ impl TraceEvent {
                 log_entries: p[1],
             },
             6 => TraceEvent::PeriodicPass { age_flushed: p[0] },
+            7 => TraceEvent::RecoveryBegin { gen: p[0] },
+            8 => TraceEvent::RecoveryEnd {
+                txs_undone: p[0],
+                entries_undone: p[1],
+            },
+            9 => TraceEvent::FaultInjected {
+                kind: p[0],
+                at_boundary: p[1],
+            },
             _ => return None,
         })
     }
@@ -127,6 +155,24 @@ impl std::fmt::Display for TraceEvent {
             }
             TraceEvent::PeriodicPass { age_flushed } => {
                 write!(f, "writeback.periodic age_flushed={age_flushed}")
+            }
+            TraceEvent::RecoveryBegin { gen } => write!(f, "recovery.begin gen={gen}"),
+            TraceEvent::RecoveryEnd {
+                txs_undone,
+                entries_undone,
+            } => write!(
+                f,
+                "recovery.end txs_undone={txs_undone} entries_undone={entries_undone}"
+            ),
+            TraceEvent::FaultInjected { kind, at_boundary } => {
+                let label = match kind {
+                    0 => "crash",
+                    1 => "journal_full",
+                    2 => "enospc",
+                    3 => "writeback_stall",
+                    _ => "unknown",
+                };
+                write!(f, "fault.injected kind={label} at_boundary={at_boundary}")
             }
         }
     }
@@ -329,6 +375,15 @@ mod tests {
                 log_entries: 5,
             },
             TraceEvent::PeriodicPass { age_flushed: 2 },
+            TraceEvent::RecoveryBegin { gen: 4 },
+            TraceEvent::RecoveryEnd {
+                txs_undone: 1,
+                entries_undone: 3,
+            },
+            TraceEvent::FaultInjected {
+                kind: 2,
+                at_boundary: 17,
+            },
         ]
     }
 

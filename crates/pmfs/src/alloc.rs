@@ -26,6 +26,9 @@ struct Inner {
 #[derive(Debug)]
 pub struct Allocator {
     inner: Mutex<Inner>,
+    /// Device whose fault-injection hook is consulted on `alloc` (attached
+    /// at mount; absent in unit tests that build the allocator bare).
+    fault_dev: std::sync::OnceLock<std::sync::Arc<NvmmDevice>>,
 }
 
 impl Allocator {
@@ -46,11 +49,23 @@ impl Allocator {
         inner.free = layout.data_blocks();
         Allocator {
             inner: Mutex::new(inner),
+            fault_dev: std::sync::OnceLock::new(),
         }
+    }
+
+    /// Attaches the device whose fault-injection plan `alloc` consults
+    /// (ENOSPC injection). Later calls are ignored.
+    pub fn attach_fault_device(&self, dev: std::sync::Arc<NvmmDevice>) {
+        let _ = self.fault_dev.set(dev);
     }
 
     /// Allocates one block, returning its absolute block number.
     pub fn alloc(&self) -> Result<u64> {
+        if let Some(dev) = self.fault_dev.get() {
+            if nvmm::fault::alloc_blocked(dev) {
+                return Err(FsError::NoSpace);
+            }
+        }
         let mut inner = self.inner.lock();
         if inner.free == 0 {
             return Err(FsError::NoSpace);
@@ -160,6 +175,7 @@ impl Allocator {
                 data_start: layout.data_start,
                 total_blocks: layout.total_blocks,
             }),
+            fault_dev: std::sync::OnceLock::new(),
         }
     }
 }

@@ -101,6 +101,7 @@ impl Pmfs {
         } else {
             Self::rebuild_allocator(&dev, &l)?
         };
+        alloc.attach_fault_device(dev.clone());
         layout::set_clean(&dev, false);
         let journal = Journal::open(dev.clone(), &l)?;
         let env = dev.env().clone();
@@ -267,7 +268,7 @@ impl Pmfs {
     /// Frees an unlinked inode once its last descriptor closes.
     fn reap(&self, h: &Arc<InodeHandle>) -> Result<()> {
         let tx = self.journal.begin()?;
-        {
+        let res = (|| -> Result<()> {
             let mut state = h.state.write();
             self.journal
                 .log_range(&tx, self.layout.inode_off(h.ino), INODE_CORE)?;
@@ -275,10 +276,19 @@ impl Pmfs {
             self.dev
                 .write_persist(Cat::Meta, self.layout.inode_off(h.ino), &[0u8; INODE_CORE]);
             self.dev.sfence();
+            Ok(())
+        })();
+        match res {
+            Ok(()) => {
+                self.journal.commit(tx);
+                self.icache.free_slot(h.ino);
+                Ok(())
+            }
+            Err(e) => {
+                self.journal.abort(tx);
+                Err(e)
+            }
         }
-        self.journal.commit(tx);
-        self.icache.free_slot(h.ino);
-        Ok(())
     }
 
     /// Unlink with the namespace lock already held (also used by rename's
@@ -294,38 +304,49 @@ impl Pmfs {
         }
         let child = self.inode(ino)?;
         let tx = self.journal.begin()?;
-        {
-            let mut pstate = parent.state.write();
-            dir::remove(&self.dev, &self.journal, &tx, &pstate, name)?;
-            pstate.mtime = self.env.now();
-            let p = *pstate;
-            drop(pstate);
-            self.log_write_inode(&tx, parent.ino, &p)?;
-        }
-        let freeable = {
+        // Fallible steps run before the volatile nlink/cache mutations so an
+        // abort leaves the in-memory state matching the rolled-back bytes.
+        let res = (|| -> Result<bool> {
+            {
+                let mut pstate = parent.state.write();
+                dir::remove(&self.dev, &self.journal, &tx, &pstate, name)?;
+                pstate.mtime = self.env.now();
+                let p = *pstate;
+                drop(pstate);
+                self.log_write_inode(&tx, parent.ino, &p)?;
+            }
             let mut cstate = child.state.write();
-            cstate.nlink -= 1;
-            let freeable = cstate.nlink == 0 && *child.opens.lock() == 0;
+            let freeable = cstate.nlink == 1 && *child.opens.lock() == 0;
             if freeable {
                 // Free data and the inode slot in the same transaction.
                 self.journal
                     .log_range(&tx, self.layout.inode_off(ino), INODE_CORE)?;
+                cstate.nlink = 0;
                 file::free_all(&self.dev, &self.alloc, &mut cstate);
                 self.dev
                     .write_persist(Cat::Meta, self.layout.inode_off(ino), &[0u8; INODE_CORE]);
                 self.dev.sfence();
             } else {
-                let snap = *cstate;
-                drop(cstate);
+                let mut snap = *cstate;
+                snap.nlink -= 1;
                 self.log_write_inode(&tx, ino, &snap)?;
+                cstate.nlink -= 1;
             }
-            freeable
-        };
-        self.journal.commit(tx);
-        if freeable {
-            self.icache.free_slot(ino);
+            Ok(freeable)
+        })();
+        match res {
+            Ok(freeable) => {
+                self.journal.commit(tx);
+                if freeable {
+                    self.icache.free_slot(ino);
+                }
+                Ok(())
+            }
+            Err(e) => {
+                self.journal.abort(tx);
+                Err(e)
+            }
         }
-        Ok(())
     }
 
     /// Rmdir with the namespace lock already held.
@@ -343,15 +364,15 @@ impl Pmfs {
             return Err(FsError::DirectoryNotEmpty);
         }
         let tx = self.journal.begin()?;
-        {
-            let mut pstate = parent.state.write();
-            dir::remove(&self.dev, &self.journal, &tx, &pstate, name)?;
-            pstate.mtime = self.env.now();
-            let p = *pstate;
-            drop(pstate);
-            self.log_write_inode(&tx, parent.ino, &p)?;
-        }
-        {
+        let res = (|| -> Result<()> {
+            {
+                let mut pstate = parent.state.write();
+                dir::remove(&self.dev, &self.journal, &tx, &pstate, name)?;
+                pstate.mtime = self.env.now();
+                let p = *pstate;
+                drop(pstate);
+                self.log_write_inode(&tx, parent.ino, &p)?;
+            }
             let mut cstate = child.state.write();
             self.journal
                 .log_range(&tx, self.layout.inode_off(ino), INODE_CORE)?;
@@ -359,10 +380,19 @@ impl Pmfs {
             self.dev
                 .write_persist(Cat::Meta, self.layout.inode_off(ino), &[0u8; INODE_CORE]);
             self.dev.sfence();
+            Ok(())
+        })();
+        match res {
+            Ok(()) => {
+                self.journal.commit(tx);
+                self.icache.free_slot(ino);
+                Ok(())
+            }
+            Err(e) => {
+                self.journal.abort(tx);
+                Err(e)
+            }
         }
-        self.journal.commit(tx);
-        self.icache.free_slot(ino);
-        Ok(())
     }
 }
 
@@ -400,13 +430,22 @@ impl FileSystem for Pmfs {
         };
         if flags.contains(OpenFlags::TRUNC) && flags.writable() {
             let tx = self.journal.begin()?;
-            let mut state = handle.state.write();
-            if file::truncate(&self.dev, &self.alloc, &mut state, 0, self.env.now())? {
-                let snap = *state;
-                drop(state);
-                self.log_write_inode(&tx, handle.ino, &snap)?;
+            let res = (|| -> Result<()> {
+                let mut state = handle.state.write();
+                if file::truncate(&self.dev, &self.alloc, &mut state, 0, self.env.now())? {
+                    let snap = *state;
+                    drop(state);
+                    self.log_write_inode(&tx, handle.ino, &snap)?;
+                }
+                Ok(())
+            })();
+            match res {
+                Ok(()) => self.journal.commit(tx),
+                Err(e) => {
+                    self.journal.abort(tx);
+                    return Err(e);
+                }
             }
-            self.journal.commit(tx);
         }
         *handle.opens.lock() += 1;
         Ok(self.fds.insert(OpenFile {
@@ -450,20 +489,30 @@ impl FileSystem for Pmfs {
             return self.append(fd, data).map(|_| data.len());
         }
         let tx = self.journal.begin()?;
-        let mut state = of.handle.state.write();
-        file::write_at(
-            &self.dev,
-            &self.alloc,
-            &mut state,
-            off,
-            data,
-            self.env.now(),
-        )?;
-        let snap = *state;
-        drop(state);
-        self.log_write_inode(&tx, of.ino, &snap)?;
-        self.journal.commit(tx);
-        Ok(data.len())
+        let res = (|| -> Result<()> {
+            let mut state = of.handle.state.write();
+            file::write_at(
+                &self.dev,
+                &self.alloc,
+                &mut state,
+                off,
+                data,
+                self.env.now(),
+            )?;
+            let snap = *state;
+            drop(state);
+            self.log_write_inode(&tx, of.ino, &snap)
+        })();
+        match res {
+            Ok(()) => {
+                self.journal.commit(tx);
+                Ok(data.len())
+            }
+            Err(e) => {
+                self.journal.abort(tx);
+                Err(e)
+            }
+        }
     }
 
     fn append(&self, fd: Fd, data: &[u8]) -> Result<u64> {
@@ -473,21 +522,32 @@ impl FileSystem for Pmfs {
             return Err(FsError::BadFd);
         }
         let tx = self.journal.begin()?;
-        let mut state = of.handle.state.write();
-        let off = state.size;
-        file::write_at(
-            &self.dev,
-            &self.alloc,
-            &mut state,
-            off,
-            data,
-            self.env.now(),
-        )?;
-        let snap = *state;
-        drop(state);
-        self.log_write_inode(&tx, of.ino, &snap)?;
-        self.journal.commit(tx);
-        Ok(off)
+        let res = (|| -> Result<u64> {
+            let mut state = of.handle.state.write();
+            let off = state.size;
+            file::write_at(
+                &self.dev,
+                &self.alloc,
+                &mut state,
+                off,
+                data,
+                self.env.now(),
+            )?;
+            let snap = *state;
+            drop(state);
+            self.log_write_inode(&tx, of.ino, &snap)?;
+            Ok(off)
+        })();
+        match res {
+            Ok(off) => {
+                self.journal.commit(tx);
+                Ok(off)
+            }
+            Err(e) => {
+                self.journal.abort(tx);
+                Err(e)
+            }
+        }
     }
 
     fn fsync(&self, fd: Fd) -> Result<()> {
@@ -507,14 +567,25 @@ impl FileSystem for Pmfs {
             return Err(FsError::BadFd);
         }
         let tx = self.journal.begin()?;
-        let mut state = of.handle.state.write();
-        if file::truncate(&self.dev, &self.alloc, &mut state, size, self.env.now())? {
-            let snap = *state;
-            drop(state);
-            self.log_write_inode(&tx, of.ino, &snap)?;
+        let res = (|| -> Result<()> {
+            let mut state = of.handle.state.write();
+            if file::truncate(&self.dev, &self.alloc, &mut state, size, self.env.now())? {
+                let snap = *state;
+                drop(state);
+                self.log_write_inode(&tx, of.ino, &snap)?;
+            }
+            Ok(())
+        })();
+        match res {
+            Ok(()) => {
+                self.journal.commit(tx);
+                Ok(())
+            }
+            Err(e) => {
+                self.journal.abort(tx);
+                Err(e)
+            }
         }
-        self.journal.commit(tx);
-        Ok(())
     }
 
     fn unlink(&self, path: &str) -> Result<()> {
@@ -612,10 +683,29 @@ impl FileSystem for Pmfs {
         }
         let tx = self.journal.begin()?;
         let same_parent = Arc::ptr_eq(&src_parent, &dst_parent);
-        {
-            let mut pstate = src_parent.state.write();
-            dir::remove(&self.dev, &self.journal, &tx, &pstate, src_name)?;
-            if same_parent {
+        let res = (|| -> Result<()> {
+            {
+                let mut pstate = src_parent.state.write();
+                dir::remove(&self.dev, &self.journal, &tx, &pstate, src_name)?;
+                if same_parent {
+                    dir::add(
+                        &self.dev,
+                        &self.journal,
+                        &tx,
+                        &self.alloc,
+                        &mut pstate,
+                        dst_name,
+                        ino,
+                        ftype,
+                    )?;
+                }
+                pstate.mtime = self.env.now();
+                let p = *pstate;
+                drop(pstate);
+                self.log_write_inode(&tx, src_parent.ino, &p)?;
+            }
+            if !same_parent {
+                let mut pstate = dst_parent.state.write();
                 dir::add(
                     &self.dev,
                     &self.journal,
@@ -626,31 +716,23 @@ impl FileSystem for Pmfs {
                     ino,
                     ftype,
                 )?;
+                pstate.mtime = self.env.now();
+                let p = *pstate;
+                drop(pstate);
+                self.log_write_inode(&tx, dst_parent.ino, &p)?;
             }
-            pstate.mtime = self.env.now();
-            let p = *pstate;
-            drop(pstate);
-            self.log_write_inode(&tx, src_parent.ino, &p)?;
+            Ok(())
+        })();
+        match res {
+            Ok(()) => {
+                self.journal.commit(tx);
+                Ok(())
+            }
+            Err(e) => {
+                self.journal.abort(tx);
+                Err(e)
+            }
         }
-        if !same_parent {
-            let mut pstate = dst_parent.state.write();
-            dir::add(
-                &self.dev,
-                &self.journal,
-                &tx,
-                &self.alloc,
-                &mut pstate,
-                dst_name,
-                ino,
-                ftype,
-            )?;
-            pstate.mtime = self.env.now();
-            let p = *pstate;
-            drop(pstate);
-            self.log_write_inode(&tx, dst_parent.ino, &p)?;
-        }
-        self.journal.commit(tx);
-        Ok(())
     }
 
     fn sync(&self) -> Result<()> {

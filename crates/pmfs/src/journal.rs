@@ -301,6 +301,9 @@ impl Journal {
     /// Opens a new transaction. Fails with [`FsError::JournalFull`] when the
     /// region cannot guarantee space for this transaction's commit entry.
     pub fn begin(&self) -> Result<TxHandle> {
+        if nvmm::fault::journal_blocked(&self.dev) {
+            return Err(FsError::JournalFull);
+        }
         let mut inner = self.inner.lock();
         if self.free_entries_locked(&inner) == 0 {
             return Err(FsError::JournalFull);
@@ -363,6 +366,9 @@ impl Journal {
     pub fn log_range(&self, tx: &TxHandle, addr: u64, len: usize) -> Result<()> {
         if len == 0 {
             return Ok(());
+        }
+        if nvmm::fault::journal_blocked(&self.dev) {
+            return Err(FsError::JournalFull);
         }
         let mut inner = self.inner.lock();
         let needed = len.div_ceil(PAYLOAD) as u64;

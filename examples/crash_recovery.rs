@@ -1,70 +1,129 @@
-//! Crash consistency demo: HiNFS's ordered data mode over the PMFS undo
-//! journal.
-//!
-//! The device tracks its persistence domain, so `crash()` drops exactly
-//! the stores that never reached NVMM — like pulling the power cord. After
-//! the crash we remount, let journal recovery run, and check the paper's
-//! §4.1 guarantee: *metadata never points at data that was not persisted*.
+//! Crash-point enumeration with the durability oracle — the single
+//! documented command for the robustness gate:
 //!
 //! ```text
-//! cargo run --example crash_recovery
+//! cargo run --release --example crash_recovery
 //! ```
+//!
+//! For each file system (HiNFS, PMFS, EXT4) the harness records the
+//! numbered crash schedule of a scripted run — every flush/fence/persist
+//! boundary the NVMM device crossed — then replays the script once per
+//! boundary, power-failing there (plus seeded torn-store variants),
+//! remounting through journal recovery, and checking the durability
+//! oracle: fsync-acknowledged data must survive, lazily buffered data may
+//! survive (per-byte: synced image, later write, or hole — never
+//! garbage), and namespace operations are all-or-nothing.
+//!
+//! A second pass injects soft faults (journal-full backpressure, ENOSPC,
+//! writeback stalls) and demands graceful degradation: clean errors, no
+//! panics, and a clean crash + recovery afterwards.
+//!
+//! The process exits non-zero on any oracle violation, so this doubles as
+//! the `scripts/verify.sh` smoke sweep.
 
+use faultfs::Op;
 use hinfs_suite::prelude::*;
 
 fn main() {
-    let env = SimEnv::new_virtual(CostModel::default());
-    // `new_tracked` keeps a shadow persistent image for crash simulation.
-    let dev = NvmmDevice::new_tracked(env.clone(), 128 << 20);
-    let fs = Hinfs::mkfs(
-        dev.clone(),
-        PmfsOptions::default(),
-        HinfsConfig::default().with_buffer_bytes(8 << 20),
-    )
-    .expect("mkfs");
+    let h = Harness::new();
+    let mut violations: Vec<String> = Vec::new();
 
-    let fd = fs
-        .open("/journal.db", OpenFlags::RDWR | OpenFlags::CREATE)
-        .expect("open");
-
-    // Phase 1: durable prefix — written and fsynced.
-    fs.write(fd, 0, &vec![1u8; 8192]).expect("write");
-    fs.fsync(fd).expect("fsync");
-    println!("phase 1: 8 KiB written and fsynced (durable)");
-
-    // Phase 2: lazy extension — buffered in DRAM, never synced.
-    fs.write(fd, 8192, &vec![2u8; 16384]).expect("write");
+    // -- Pass 1: crash-point enumeration (fixed seed, capped points) --
+    let script = Script::random(2016, 12);
+    let cfg = SweepConfig {
+        seed: 0xFA17,
+        max_points: 32,
+        torn_every: 4,
+    };
     println!(
-        "phase 2: 16 KiB more written, NOT fsynced; file size now {} B, {} dirty buffer blocks",
-        fs.fstat(fd).expect("fstat").size,
-        fs.dirty_blocks(),
+        "== crash-point enumeration: {} ops, <= {} points/fs ==",
+        script.ops.len(),
+        cfg.max_points
     );
+    for kind in FsKind::ALL {
+        let out = h.sweep(kind, &script, cfg);
+        println!(
+            "  {:<6} {:>4} boundaries | {:>3} crashes (+{} torn) | {:>4} oracle checks | \
+             {:>2} txs undone, {:>3} entries undone/replayed | {} violations",
+            out.kind.label(),
+            out.boundaries,
+            out.runs,
+            out.torn_runs,
+            out.checks,
+            out.txs_undone,
+            out.entries_undone,
+            out.violations.len()
+        );
+        violations.extend(out.violations);
+    }
 
-    // Power failure.
-    dev.crash();
-    println!("-- crash --");
-
-    // Remount: PMFS journal recovery rolls back the uncommitted
-    // size-extension transaction (its commit record was waiting for the
-    // buffered data that never reached NVMM).
-    let fs2 = Pmfs::mount(dev.clone()).expect("recover + mount");
-    let stats = fs2.recovery_stats();
+    // -- Pass 2: soft-fault injection over a journal-heavy script tail --
+    let faulty = Script {
+        ops: vec![
+            Op::Create { file: 0 },
+            Op::Append {
+                file: 0,
+                len: 4096,
+                fill: 0x5a,
+            },
+            Op::Fsync { file: 0 },
+            Op::Append {
+                file: 0,
+                len: 8192,
+                fill: 0x6b,
+            },
+            Op::Fsync { file: 0 },
+            Op::Mkdir { dir: 0 },
+            Op::Unlink { file: 0 },
+            Op::Create { file: 1 },
+        ],
+    };
     println!(
-        "recovery: scanned {} journal entries, rolled back {} transaction(s)",
-        stats.scanned, stats.txs_undone
+        "\n== fault injection (window: ops 3..{}) ==",
+        faulty.ops.len()
+    );
+    for kind in FsKind::ALL {
+        for fault in [
+            InjectedFault::JournalFull,
+            InjectedFault::Enospc,
+            InjectedFault::WritebackStall,
+        ] {
+            let out = h.fault_run(kind, &faulty, fault, 3..faulty.ops.len());
+            println!(
+                "  {:<6} {:<15} -> {:>2} clean errors, {} oracle checks, {} violations",
+                kind.label(),
+                fault.label(),
+                out.clean_errors.len(),
+                out.checks,
+                out.violations.len()
+            );
+            for (i, e) in &out.clean_errors {
+                println!("           op {i}: {e}");
+            }
+            violations.extend(out.violations);
+        }
+    }
+
+    // -- Summary through the obsv counters --
+    let s = h.stats.snapshot();
+    println!(
+        "\ntotal: {} crashes injected, {} soft faults, {} recoveries, {} txs undone, \
+         {} entries undone/replayed, {} oracle checks, {} violations",
+        s.crashes_injected,
+        s.faults_injected,
+        s.recoveries,
+        s.txs_undone,
+        s.entries_undone,
+        s.oracle_checks,
+        s.oracle_violations
     );
 
-    let st = fs2.stat("/journal.db").expect("stat");
-    println!("after recovery: size = {} B", st.size);
-    assert_eq!(
-        st.size, 8192,
-        "ordered mode: the unsynced extension must not survive"
-    );
-    let fd = fs2.open("/journal.db", OpenFlags::READ).expect("open");
-    let mut buf = vec![0u8; 8192];
-    fs2.read(fd, 0, &mut buf).expect("read");
-    assert!(buf.iter().all(|&b| b == 1), "fsynced data intact");
-    fs2.close(fd).expect("close");
-    fs2.unmount().expect("unmount");
-    println!("ok: fsynced data survived, unsynced metadata rolled back cleanly");
+    if !violations.is_empty() {
+        eprintln!("\nDURABILITY ORACLE VIOLATIONS:");
+        for v in &violations {
+            eprintln!("  {v}");
+        }
+        std::process::exit(1);
+    }
+    println!("crash_recovery: OK (zero violations, zero panics)");
 }

@@ -56,6 +56,9 @@ fn kind_label(ev: &TraceEvent) -> &'static str {
         TraceEvent::BbmFlip { .. } => "bbm.flip",
         TraceEvent::JournalCommit { .. } => "journal.commit",
         TraceEvent::PeriodicPass { .. } => "writeback.periodic",
+        TraceEvent::RecoveryBegin { .. } => "recovery.begin",
+        TraceEvent::RecoveryEnd { .. } => "recovery.end",
+        TraceEvent::FaultInjected { .. } => "fault.injected",
     }
 }
 
@@ -176,6 +179,9 @@ fn main() {
         "bbm.flip",
         "journal.commit",
         "writeback.periodic",
+        "recovery.begin",
+        "recovery.end",
+        "fault.injected",
     ];
     for kind in kinds {
         let of_kind: Vec<_> = window
@@ -201,4 +207,33 @@ fn main() {
     print!("{}", sys.registry.snapshot().to_prometheus());
 
     sys.fs.unmount().expect("unmount");
+
+    // Phase 3: the crash harness exports through the same registry. Run a
+    // small crash-point sweep on a scratch image and dump its counters
+    // and recovery trace events.
+    println!("\n--- crash harness (faultfs) ---");
+    let h = faultfs::Harness::new();
+    let reg = obsv::MetricsRegistry::new();
+    reg.register("", h.stats.clone());
+    let script = faultfs::Script::random(42, 10);
+    let cfg = faultfs::SweepConfig {
+        max_points: 12,
+        ..faultfs::SweepConfig::default()
+    };
+    for kind in faultfs::FsKind::ALL {
+        let out = h.sweep(kind, &script, cfg);
+        println!(
+            "  {:<6} {} boundaries, {} runs (+{} torn), {} checks, {} violations",
+            out.kind.label(),
+            out.boundaries,
+            out.runs,
+            out.torn_runs,
+            out.checks,
+            out.violations.len()
+        );
+    }
+    for rec in h.trace.tail(4) {
+        println!("    {rec}");
+    }
+    print!("{}", reg.snapshot().to_prometheus());
 }

@@ -26,4 +26,8 @@ run cargo fmt --all -- --check
 run cargo clippy --workspace --all-targets $OFFLINE -- -D warnings
 run cargo build --release $OFFLINE
 run cargo test -q $OFFLINE
+# faultfs smoke sweep: crash-point enumeration + durability oracle +
+# fault injection across hinfs/pmfs/ext4 (fixed seed, capped points;
+# exits non-zero on any oracle violation or panic).
+run cargo run --release $OFFLINE --example crash_recovery
 echo "verify: OK"

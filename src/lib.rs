@@ -43,6 +43,7 @@
 
 pub use blockdev;
 pub use extfs;
+pub use faultfs;
 pub use fskit;
 pub use hinfs;
 pub use nvmm;
@@ -52,6 +53,7 @@ pub use workloads;
 /// The most common imports in one place.
 pub mod prelude {
     pub use extfs::{ExtMode, ExtOptions, Extfs};
+    pub use faultfs::{FsKind, Harness, InjectedFault, Script, SweepConfig};
     pub use fskit::{DirEntry, Fd, FileSystem, FileType, FsError, OpenFlags, Stat};
     pub use hinfs::{Hinfs, HinfsConfig};
     pub use nvmm::{Cat, CostModel, NvmmDevice, SimEnv, TimeMode, BLOCK_SIZE, CACHELINE};

@@ -1,0 +1,191 @@
+//! Crash-point enumeration and fault-injection sweeps (tier 1).
+//!
+//! Property side: random small op scripts, crash at every recorded
+//! persistence boundary (plus torn-store variants), remount, and check
+//! the durability oracle — across HiNFS, PMFS and EXT4.
+//!
+//! Deterministic side: each injectable fault (journal-full backpressure,
+//! ENOSPC, writeback stall) must surface as a *clean* `FsError` on the
+//! right operations — never a panic, never an oracle violation after the
+//! fault is lifted and the image is crashed and recovered.
+
+use faultfs::{FsKind, Harness, InjectedFault, Op, Script, SweepConfig};
+use proptest::prelude::*;
+
+fn sweep_cfg() -> SweepConfig {
+    SweepConfig {
+        max_points: 16,
+        torn_every: 4,
+        ..SweepConfig::default()
+    }
+}
+
+fn sweep_clean(kind: FsKind, seed: u64, n_ops: usize) {
+    let h = Harness::new();
+    let script = Script::random(seed, n_ops);
+    let out = h.sweep(kind, &script, sweep_cfg());
+    assert!(
+        out.violations.is_empty(),
+        "{} seed {seed}: {:#?}",
+        kind.label(),
+        out.violations
+    );
+    assert!(out.runs > 0 && out.checks > 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 5, ..ProptestConfig::default() })]
+
+    #[test]
+    fn crash_every_point_hinfs((seed, n) in (0u64..1 << 32, 6usize..10)) {
+        sweep_clean(FsKind::Hinfs, seed, n);
+    }
+
+    #[test]
+    fn crash_every_point_pmfs((seed, n) in (0u64..1 << 32, 6usize..10)) {
+        sweep_clean(FsKind::Pmfs, seed, n);
+    }
+
+    #[test]
+    fn crash_every_point_ext4((seed, n) in (0u64..1 << 32, 6usize..10)) {
+        sweep_clean(FsKind::Ext4, seed, n);
+    }
+}
+
+/// A script whose tail (inside the fault window) exercises journaled
+/// namespace and data paths on a file created before the window opens.
+fn faultable_script() -> Script {
+    Script {
+        ops: vec![
+            Op::Create { file: 0 },
+            Op::Append {
+                file: 0,
+                len: 4096,
+                fill: 0x5a,
+            },
+            Op::Fsync { file: 0 },
+            // -- fault window starts at index 3 --
+            Op::Append {
+                file: 0,
+                len: 8192,
+                fill: 0x6b,
+            },
+            Op::Fsync { file: 0 },
+            Op::Mkdir { dir: 0 },
+            Op::Unlink { file: 0 },
+            Op::Create { file: 1 },
+        ],
+    }
+}
+
+/// Runs `fault` over the script tail and asserts graceful degradation:
+/// no panics, no oracle violations, and (when `expect_errors`) at least
+/// one clean error mentioning `needle`.
+fn fault_round(kind: FsKind, fault: InjectedFault, expect_errors: bool, needle: &str) {
+    let h = Harness::new();
+    let script = faultable_script();
+    let out = h.fault_run(kind, &script, fault, 3..script.ops.len());
+    assert!(
+        out.violations.is_empty(),
+        "{} under {}: {:#?}",
+        kind.label(),
+        fault.label(),
+        out.violations
+    );
+    if expect_errors {
+        assert!(
+            out.clean_errors.iter().any(|(_, e)| e.contains(needle)),
+            "{} under {}: expected a clean {needle} error, got {:?}",
+            kind.label(),
+            fault.label(),
+            out.clean_errors
+        );
+    }
+    assert!(h.stats.snapshot().faults_injected > 0 || !expect_errors);
+}
+
+#[test]
+fn journal_full_is_a_clean_error_on_pmfs() {
+    fault_round(
+        FsKind::Pmfs,
+        InjectedFault::JournalFull,
+        true,
+        "JournalFull",
+    );
+}
+
+#[test]
+fn journal_full_is_a_clean_error_on_hinfs() {
+    fault_round(
+        FsKind::Hinfs,
+        InjectedFault::JournalFull,
+        true,
+        "JournalFull",
+    );
+}
+
+#[test]
+fn journal_full_is_a_clean_error_on_ext4() {
+    fault_round(
+        FsKind::Ext4,
+        InjectedFault::JournalFull,
+        true,
+        "JournalFull",
+    );
+}
+
+#[test]
+fn enospc_is_a_clean_error_everywhere() {
+    for kind in FsKind::ALL {
+        fault_round(kind, InjectedFault::Enospc, true, "NoSpace");
+    }
+}
+
+#[test]
+fn writeback_stall_degrades_gracefully_on_hinfs() {
+    // A stalled writeback actor makes no progress but must not fail
+    // foreground operations or break recovery once lifted.
+    fault_round(FsKind::Hinfs, InjectedFault::WritebackStall, false, "");
+}
+
+/// Heavy sweep for manual soak runs: `cargo test --test fault_sweep -- --ignored`.
+#[test]
+#[ignore]
+fn stress_many_seeds_all_kinds() {
+    let h = Harness::new();
+    for seed in 0..40u64 {
+        for kind in FsKind::ALL {
+            let script = Script::random(seed * 7 + 1, 14);
+            let cfg = SweepConfig {
+                max_points: 48,
+                torn_every: 2,
+                ..SweepConfig::default()
+            };
+            let out = h.sweep(kind, &script, cfg);
+            assert!(
+                out.violations.is_empty(),
+                "{} seed {seed}: {:#?}",
+                kind.label(),
+                out.violations
+            );
+        }
+    }
+}
+
+#[test]
+fn harness_counters_flow_into_obsv() {
+    let h = Harness::new();
+    let script = Script::random(11, 8);
+    let out = h.sweep(FsKind::Pmfs, &script, sweep_cfg());
+    assert!(out.violations.is_empty(), "{:#?}", out.violations);
+    let snap = h.stats.snapshot();
+    assert!(snap.crashes_injected > 0);
+    assert!(snap.recoveries > 0);
+    assert!(snap.oracle_checks > 0);
+    assert_eq!(snap.oracle_violations, 0);
+    // The sweep's recovery events landed in the trace ring.
+    let tail = h.trace.tail(64);
+    assert!(tail
+        .iter()
+        .any(|r| matches!(r.ev, obsv::TraceEvent::RecoveryBegin { .. })));
+}
