@@ -1,0 +1,74 @@
+//! Measures the real-time cost of the span attribution layer.
+//!
+//! Two angles: the raw `SpanTable::scope` call in isolation (disabled vs
+//! enabled), and a full 4 KiB write path through HiNFS in spin mode with
+//! spans off vs on. The disabled path is a single relaxed load, so the
+//! off/on delta on the raw scope is the whole story; the fs-level groups
+//! show it vanishing into the noise of an actual operation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fskit::OpenFlags;
+use nvmm::TimeMode;
+use obsv::{Phase, SpanTable};
+use workloads::setups::{build, SystemConfig, SystemKind};
+
+fn cfg(spans: bool) -> SystemConfig {
+    SystemConfig {
+        device_bytes: 64 << 20,
+        mode: TimeMode::Spin,
+        buffer_bytes: 8 << 20,
+        cache_pages: 2048,
+        journal_blocks: 256,
+        inode_count: 8192,
+        obsv_spans: spans,
+        ..SystemConfig::default()
+    }
+}
+
+/// The bare hook: `scope` around a trivial closure, with the table
+/// disabled (the state every hook sees in production runs) and enabled.
+fn raw_scope(c: &mut Criterion) {
+    let mut g = c.benchmark_group("span_scope_raw");
+    g.sample_size(20);
+    for (label, enabled) in [("disabled", false), ("enabled", true)] {
+        let table = SpanTable::default();
+        table.set_enabled(enabled);
+        let mut clock = 0u64;
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                clock += 1;
+                table.scope(Phase::Persist, || clock, || std::hint::black_box(clock))
+            })
+        });
+    }
+    g.finish();
+}
+
+/// End-to-end: a 4 KiB HiNFS write in spin mode, spans off vs on. Every
+/// hook on the path (buffer lookup, copies, persists, fences) fires, so
+/// this is the worst realistic amplification of the raw-scope cost.
+fn write_4k(c: &mut Criterion) {
+    let mut g = c.benchmark_group("span_write_4k");
+    g.sample_size(20);
+    for (label, spans) in [("spans_off", false), ("spans_on", true)] {
+        let sys = build(SystemKind::Hinfs, &cfg(spans)).expect("build");
+        let fd = sys
+            .fs
+            .open("/f", OpenFlags::RDWR | OpenFlags::CREATE)
+            .expect("open");
+        let data = vec![0xabu8; 4096];
+        let mut i = 0u64;
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                sys.fs.write(fd, (i % 1024) * 4096, &data).expect("write");
+                i += 1;
+            })
+        });
+        sys.fs.close(fd).expect("close");
+        sys.fs.unmount().expect("unmount");
+    }
+    g.finish();
+}
+
+criterion_group!(span_overhead, raw_scope, write_4k);
+criterion_main!(span_overhead);

@@ -1,0 +1,378 @@
+//! Machine-readable benchmark pipeline (`experiments --bench-json PATH`).
+//!
+//! Serializes a benchmark run into a stable, diffable JSON document:
+//!
+//! - `schema_version`, `git_rev`, and the [`Scale`] parameters;
+//! - flat `"headline::<workload>::<system>::<metric>"` keys, one per
+//!   line, so `scripts/bench_check.sh` can gate regressions with plain
+//!   `grep`/`awk` (no JSON parser required);
+//! - per-op latency quantiles (p50/p95/p99/mean) from the [`FsObs`]
+//!   histograms of the headline runs;
+//! - the OpKind × Phase span matrix of each headline run;
+//! - every figure table produced by the invocation.
+//!
+//! Everything runs on the deterministic virtual clock, so two runs of the
+//! same binary produce byte-identical documents except for `git_rev`.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use obsv::{row_label, SpanSnapshot, ALL_OPS, ALL_PHASES, SPAN_ROWS};
+use workloads::fileset::Fileset;
+use workloads::runner::{RunLimit, Runner};
+use workloads::setups::{build, remount_with, System, SystemKind};
+use workloads::RunReport;
+
+use crate::common::{Personality, Scale};
+use crate::table::Table;
+
+/// Bumped whenever the document layout changes incompatibly.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// The current git revision, or `"unknown"` outside a work tree.
+pub fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Escapes a string for a JSON literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One headline measurement: a workload × system pair run with per-op
+/// timing and span attribution enabled.
+struct Headline {
+    workload: &'static str,
+    system: &'static str,
+    report: RunReport,
+    obs: Option<Arc<obsv::FsObs>>,
+    spans: SpanSnapshot,
+}
+
+/// The headline grid gated by `bench_check.sh`: the paper's central
+/// comparison (buffered HiNFS vs direct-access PMFS) on a write-heavy and
+/// a read-heavy personality.
+const HEADLINES: [(Personality, SystemKind); 4] = [
+    (Personality::Fileserver, SystemKind::Pmfs),
+    (Personality::Fileserver, SystemKind::Hinfs),
+    (Personality::Webproxy, SystemKind::Pmfs),
+    (Personality::Webproxy, SystemKind::Hinfs),
+];
+
+/// Builds, populates, remounts (cold caches) and runs one headline cell
+/// with timing + spans on.
+fn run_headline(p: Personality, kind: SystemKind, scale: &Scale) -> Headline {
+    let mut cfg = scale.system_config(nvmm::CostModel::default());
+    cfg.obsv_timing = true;
+    cfg.obsv_spans = true;
+    let sys = build(kind, &cfg).expect("build system");
+    let set = Fileset::populate(&*sys.fs, scale.fileset_spec(), 0xF11E).expect("populate fileset");
+    sys.fs.unmount().expect("unmount after populate");
+    let System { kind, dev, env, .. } = sys;
+    let sys = remount_with(kind, dev, env, &cfg).expect("remount");
+    sys.env.rebase();
+    let s0 = sys.dev.spans().snapshot();
+    let actors = p.actors(&set, scale.filebench_params(), scale.threads);
+    let report = Runner::new(sys.env.clone(), sys.fs.clone())
+        .with_device(sys.dev.clone())
+        .run(actors, RunLimit::duration_ms(scale.duration_ms), 0xBEEF);
+    let spans = sys.dev.spans().snapshot().since(&s0);
+    let obs = sys.obs.clone();
+    let _ = sys.fs.unmount();
+    Headline {
+        workload: p.label(),
+        system: kind.label(),
+        report,
+        obs,
+        spans,
+    }
+}
+
+fn push_scale(out: &mut String, scale: &Scale, name: &str) {
+    let _ = writeln!(
+        out,
+        "  \"scale\": {{\"name\": \"{}\", \"nfiles\": {}, \"mean_file\": {}, \"duration_ms\": {}, \
+         \"device_bytes\": {}, \"threads\": {}, \"iosize\": {}, \"append\": {}}},",
+        esc(name),
+        scale.nfiles,
+        scale.mean_file,
+        scale.duration_ms,
+        scale.device_bytes,
+        scale.threads,
+        scale.iosize,
+        scale.append
+    );
+}
+
+fn push_headline_keys(out: &mut String, cells: &[Headline]) {
+    for h in cells {
+        let base = format!("headline::{}::{}", h.workload, h.system);
+        let _ = writeln!(
+            out,
+            "  \"{base}::ops_per_s\": {:.3},",
+            h.report.throughput()
+        );
+        let _ = writeln!(out, "  \"{base}::total_ops\": {},", h.report.total_ops());
+        let _ = writeln!(out, "  \"{base}::elapsed_ns\": {},", h.report.elapsed_ns);
+        let _ = writeln!(
+            out,
+            "  \"{base}::nvmm_write_bytes\": {},",
+            h.report.device.nvmm_bytes_written
+        );
+    }
+}
+
+fn push_op_latency(out: &mut String, cells: &[Headline]) {
+    let _ = writeln!(out, "  \"op_latency\": {{");
+    let mut first_cell = true;
+    for h in cells {
+        if !first_cell {
+            let _ = writeln!(out, ",");
+        }
+        first_cell = false;
+        let _ = write!(out, "    \"{}::{}\": {{", h.workload, h.system);
+        let mut first_op = true;
+        if let Some(obs) = &h.obs {
+            for op in ALL_OPS {
+                let s = obs.op_histo(op).snapshot();
+                if s.count() == 0 {
+                    continue;
+                }
+                if !first_op {
+                    let _ = write!(out, ", ");
+                }
+                first_op = false;
+                let _ = write!(
+                    out,
+                    "\"{}\": {{\"count\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \"mean\": {:.1}}}",
+                    op.label(),
+                    s.count(),
+                    s.quantile(0.50),
+                    s.quantile(0.95),
+                    s.quantile(0.99),
+                    s.mean()
+                );
+            }
+        }
+        let _ = write!(out, "}}");
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(out, "  }},");
+}
+
+fn push_spans(out: &mut String, cells: &[Headline]) {
+    let _ = writeln!(out, "  \"spans\": {{");
+    let mut first_cell = true;
+    for h in cells {
+        if !first_cell {
+            let _ = writeln!(out, ",");
+        }
+        first_cell = false;
+        let _ = writeln!(out, "    \"{}::{}\": {{", h.workload, h.system);
+        let mut rows = Vec::new();
+        for row in 0..SPAN_ROWS {
+            let mut phases = Vec::new();
+            for (p, ph) in ALL_PHASES.iter().enumerate() {
+                let (ns, calls) = (h.spans.ns[row][p], h.spans.calls[row][p]);
+                if calls > 0 {
+                    phases.push(format!(
+                        "\"{}\": {{\"ns\": {ns}, \"calls\": {calls}}}",
+                        ph.label()
+                    ));
+                }
+            }
+            if !phases.is_empty() {
+                rows.push(format!(
+                    "      \"{}\": {{{}}}",
+                    row_label(row),
+                    phases.join(", ")
+                ));
+            }
+        }
+        let _ = write!(out, "{}", rows.join(",\n"));
+        let _ = writeln!(out);
+        let _ = write!(out, "    }}");
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(out, "  }},");
+}
+
+fn push_figures(out: &mut String, tables: &[Table]) {
+    let _ = writeln!(out, "  \"figures\": {{");
+    let mut first = true;
+    for t in tables {
+        if !first {
+            let _ = writeln!(out, ",");
+        }
+        first = false;
+        let headers = t
+            .headers
+            .iter()
+            .map(|h| format!("\"{}\"", esc(h)))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let rows = t
+            .rows
+            .iter()
+            .map(|r| {
+                let cells = r
+                    .iter()
+                    .map(|c| format!("\"{}\"", esc(c)))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                format!("        [{cells}]")
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
+        let notes = t
+            .notes
+            .iter()
+            .map(|n| format!("\"{}\"", esc(n)))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = writeln!(out, "    \"{}\": {{", esc(t.id));
+        let _ = writeln!(out, "      \"title\": \"{}\",", esc(&t.title));
+        let _ = writeln!(out, "      \"headers\": [{headers}],");
+        let _ = writeln!(out, "      \"rows\": [");
+        let _ = writeln!(out, "{rows}");
+        let _ = writeln!(out, "      ],");
+        let _ = writeln!(out, "      \"notes\": [{notes}]");
+        let _ = write!(out, "    }}");
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(out, "  }}");
+}
+
+/// Runs the headline grid and serializes the whole invocation — figure
+/// tables included — into the BENCH document.
+pub fn emit(scale: &Scale, scale_name: &str, tables: &[Table]) -> String {
+    let cells: Vec<Headline> = HEADLINES
+        .iter()
+        .map(|&(p, kind)| run_headline(p, kind, scale))
+        .collect();
+    render(scale, scale_name, tables, &cells, &git_rev())
+}
+
+/// Pure serialization of already-collected results (unit-testable).
+fn render(
+    scale: &Scale,
+    scale_name: &str,
+    tables: &[Table],
+    cells: &[Headline],
+    rev: &str,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"schema_version\": {SCHEMA_VERSION},");
+    let _ = writeln!(out, "  \"git_rev\": \"{}\",", esc(rev));
+    push_scale(&mut out, scale, scale_name);
+    push_headline_keys(&mut out, cells);
+    push_op_latency(&mut out, cells);
+    push_spans(&mut out, cells);
+    push_figures(&mut out, tables);
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_scale() -> Scale {
+        Scale {
+            nfiles: 24,
+            mean_file: 8 << 10,
+            duration_ms: 40,
+            device_bytes: 64 << 20,
+            threads: 1,
+            iosize: 16 << 10,
+            append: 4 << 10,
+            ..Scale::default()
+        }
+    }
+
+    #[test]
+    fn document_is_deterministic_and_carries_every_section() {
+        let scale = tiny_scale();
+        let mut t = Table::new("fig99", "demo \"quoted\"", &["a", "b"]);
+        t.row(vec!["1".into(), "x\ny".into()]);
+        t.note("shape");
+        let cells: Vec<Headline> = [(Personality::Fileserver, SystemKind::Hinfs)]
+            .iter()
+            .map(|&(p, k)| run_headline(p, k, &scale))
+            .collect();
+        let doc = render(&scale, "tiny", &[t.clone()], &cells, "deadbeef");
+        for needle in [
+            "\"schema_version\": 1",
+            "\"git_rev\": \"deadbeef\"",
+            "\"headline::fileserver::hinfs::ops_per_s\"",
+            "\"op_latency\"",
+            "\"spans\"",
+            "\"fig99\"",
+            "\\\"quoted\\\"",
+            "x\\ny",
+        ] {
+            assert!(doc.contains(needle), "missing {needle} in:\n{doc}");
+        }
+        // Re-running the same workload yields the identical document: the
+        // virtual clock makes the whole pipeline deterministic.
+        let cells2: Vec<Headline> = [(Personality::Fileserver, SystemKind::Hinfs)]
+            .iter()
+            .map(|&(p, k)| run_headline(p, k, &scale))
+            .collect();
+        let doc2 = render(&scale, "tiny", &[t], &cells2, "deadbeef");
+        assert_eq!(doc, doc2);
+    }
+
+    #[test]
+    fn headline_keys_are_one_per_line_and_greppable() {
+        let scale = tiny_scale();
+        let cells: Vec<Headline> = [(Personality::Webproxy, SystemKind::Pmfs)]
+            .iter()
+            .map(|&(p, k)| run_headline(p, k, &scale))
+            .collect();
+        let doc = render(&scale, "tiny", &[], &cells, "r");
+        let lines: Vec<&str> = doc.lines().filter(|l| l.contains("\"headline::")).collect();
+        assert_eq!(lines.len(), 4, "{doc}");
+        for l in &lines {
+            // key and numeric value on one line, trailing comma: the shape
+            // scripts/bench_check.sh greps for.
+            assert!(l.trim_start().starts_with("\"headline::"));
+            assert!(l.trim_end().ends_with(','));
+        }
+        let tput = lines
+            .iter()
+            .find(|l| l.contains("::ops_per_s\""))
+            .expect("throughput key");
+        let v: f64 = tput
+            .split(':')
+            .next_back()
+            .unwrap()
+            .trim()
+            .trim_end_matches(',')
+            .parse()
+            .expect("numeric value");
+        assert!(v > 0.0);
+    }
+}

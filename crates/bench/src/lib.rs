@@ -9,6 +9,7 @@
 //! benches under `benches/` exercise the same code on the spin-mode
 //! (busy-wait) emulator.
 
+pub mod benchjson;
 pub mod common;
 pub mod figs;
 pub mod table;

@@ -13,7 +13,7 @@ use std::sync::Arc;
 use blockdev::Nvmmbd;
 use fskit::{DirEntry, Fd, FdTable, FileSystem, FileType, FsError, OpenFlags, Result, Stat};
 use nvmm::{Cat, NvmmDevice, SimEnv, BLOCK_SIZE};
-use obsv::{FsObs, OpKind, TraceEvent};
+use obsv::{FsObs, OpKind, Phase, TraceEvent};
 use parking_lot::Mutex;
 
 use crate::alloc::DiskBitmap;
@@ -144,6 +144,8 @@ impl Extfs {
         let ialloc = DiskBitmap::load(&cache, l.ibitmap_start, l.inode_count);
         layout::set_clean(&cache, false, 0);
         let env = bd.byte_device().env().clone();
+        let obs = Arc::new(FsObs::default());
+        obs.set_spans(bd.byte_device().spans().clone());
         Ok(Arc::new(Extfs {
             mode,
             env,
@@ -159,7 +161,7 @@ impl Extfs {
             opts,
             last_commit: AtomicU64::new(0),
             dirty_data: Mutex::new(HashMap::new()),
-            obs: Arc::new(FsObs::default()),
+            obs,
             replayed,
         }))
     }
@@ -182,21 +184,34 @@ impl Extfs {
     /// Runs `f` as operation `op`, recording its latency when timing is
     /// enabled (one relaxed load otherwise).
     fn timed<T>(&self, op: OpKind, f: impl FnOnce() -> Result<T>) -> Result<T> {
-        if !self.obs.timing_enabled() {
-            return f();
-        }
-        let start = self.env.now();
-        let r = f();
-        let end = self.env.now();
-        self.obs.record_op(op, end.saturating_sub(start), start);
-        r
+        let spans = self.bd.byte_device().spans().clone();
+        spans.op_scope(
+            op,
+            || self.env.now(),
+            || {
+                if !self.obs.timing_enabled() {
+                    return f();
+                }
+                let start = self.env.now();
+                let r = f();
+                let end = self.env.now();
+                self.obs.record_op(op, end.saturating_sub(start), start);
+                r
+            },
+        )
     }
 
     /// Commits the running jbd transaction, tracing the commit when it
     /// actually wrote something.
     fn jbd_commit(&self) {
         let pending = self.jbd.running_len() as u64;
-        self.jbd.commit(&self.cache);
+        self.bd.byte_device().spans().scope(
+            Phase::Journal,
+            || self.env.now(),
+            || {
+                self.jbd.commit(&self.cache);
+            },
+        );
         if pending > 0 {
             self.obs
                 .trace
@@ -383,15 +398,22 @@ impl Extfs {
         now: u64,
     ) -> Result<()> {
         let (blk, fresh) = blkmap::ensure(&self.cache, &self.jbd, &self.balloc, state, iblk, now)?;
-        if fresh && (in_blk != 0 || payload.len() != BLOCK_SIZE) {
-            // Fresh block, partial write: materialize a zeroed page and lay
-            // the payload in, avoiding a fetch of stale device bytes.
-            let mut page = vec![0u8; BLOCK_SIZE];
-            page[in_blk..in_blk + payload.len()].copy_from_slice(payload);
-            self.cache.write(Cat::UserWrite, blk, 0, &page, now);
-        } else {
-            self.cache.write(Cat::UserWrite, blk, in_blk, payload, now);
-        }
+        self.bd.byte_device().spans().scope(
+            Phase::DramCopy,
+            || self.env.now(),
+            || {
+                if fresh && (in_blk != 0 || payload.len() != BLOCK_SIZE) {
+                    // Fresh block, partial write: materialize a zeroed page
+                    // and lay the payload in, avoiding a fetch of stale
+                    // device bytes.
+                    let mut page = vec![0u8; BLOCK_SIZE];
+                    page[in_blk..in_blk + payload.len()].copy_from_slice(payload);
+                    self.cache.write(Cat::UserWrite, blk, 0, &page, now);
+                } else {
+                    self.cache.write(Cat::UserWrite, blk, in_blk, payload, now);
+                }
+            },
+        );
         self.dirty_data.lock().entry(ino).or_default().insert(blk);
         Ok(())
     }
@@ -501,7 +523,13 @@ impl Extfs {
                             out,
                         );
                     } else {
-                        self.cache.read(Cat::UserRead, blk, in_blk, out);
+                        self.bd.byte_device().spans().scope(
+                            Phase::DramCopy,
+                            || self.env.now(),
+                            || {
+                                self.cache.read(Cat::UserRead, blk, in_blk, out);
+                            },
+                        );
                     }
                 }
                 None => {

@@ -18,7 +18,7 @@ use std::sync::Arc;
 
 use fskit::{DirEntry, Fd, FileSystem, FileType, FsError, MmapHandle, OpenFlags, Result, Stat};
 use nvmm::{Cat, NvmmDevice, SimEnv, BLOCK_SIZE, CACHELINE};
-use obsv::{FsObs, OpKind, TraceEvent};
+use obsv::{FsObs, OpKind, Phase, TraceEvent};
 use parking_lot::Mutex;
 use pmfs::inode::InodeMem;
 use pmfs::{Layout, Pmfs, PmfsOptions, TxHandle};
@@ -69,6 +69,7 @@ impl Hinfs {
         });
         // Journal commits land on the same trace timeline as writeback.
         fs.inner.journal().set_trace(fs.obs.trace.clone());
+        fs.obs.set_spans(fs.inner.device().spans().clone());
         fs.start_background();
         Ok(fs)
     }
@@ -86,14 +87,20 @@ impl Hinfs {
     /// Runs `f` as operation `op`, recording its latency when timing is
     /// enabled (one relaxed load otherwise).
     fn timed<T>(&self, op: OpKind, f: impl FnOnce() -> Result<T>) -> Result<T> {
-        if !self.obs.timing_enabled() {
-            return f();
-        }
-        let start = self.env.now();
-        let r = f();
-        let end = self.env.now();
-        self.obs.record_op(op, end.saturating_sub(start), start);
-        r
+        self.inner.device().spans().op_scope(
+            op,
+            || self.env.now(),
+            || {
+                if !self.obs.timing_enabled() {
+                    return f();
+                }
+                let start = self.env.now();
+                let r = f();
+                let end = self.env.now();
+                self.obs.record_op(op, end.saturating_sub(start), start);
+                r
+            },
+        )
     }
 
     /// The mount configuration.
@@ -111,7 +118,7 @@ impl Hinfs {
         &self.env
     }
 
-    fn dev(&self) -> &Arc<NvmmDevice> {
+    pub(crate) fn dev(&self) -> &Arc<NvmmDevice> {
         self.inner.device()
     }
 
@@ -321,27 +328,34 @@ impl Hinfs {
     /// Copies `payload` into an existing buffer slot (no fetch — the slot's
     /// missing partial lines must already be valid).
     fn apply_to_slot(&self, sh: &mut Shared, slot: u32, in_blk: usize, payload: &[u8], now: u64) {
-        let mask = range_mask(in_blk, payload.len());
-        // A buffered write pays the DRAM write latency per touched
-        // cacheline — the `N_cw · L_dram` term of the Buffer Benefit Model
-        // (Inequality 1). This is what makes buffering *not* free relative
-        // to a direct NVMM write when no coalescing follows.
-        self.env.charge(
-            Cat::UserWrite,
-            mask.count_ones() as u64 * self.env.cost().dram_write_latency_ns,
+        self.inner.device().spans().scope(
+            Phase::DramCopy,
+            || self.env.now(),
+            || {
+                let mask = range_mask(in_blk, payload.len());
+                // A buffered write pays the DRAM write latency per touched
+                // cacheline — the `N_cw · L_dram` term of the Buffer Benefit Model
+                // (Inequality 1). This is what makes buffering *not* free relative
+                // to a direct NVMM write when no coalescing follows.
+                self.env.charge(
+                    Cat::UserWrite,
+                    mask.count_ones() as u64 * self.env.cost().dram_write_latency_ns,
+                );
+                sh.pool_mut().block_mut(slot)[in_blk..in_blk + payload.len()]
+                    .copy_from_slice(payload);
+                let was_clean = sh.pool().meta(slot).dirty == 0;
+                {
+                    let m = sh.pool_mut().meta_mut(slot);
+                    m.valid |= mask;
+                    m.dirty |= mask;
+                    m.last_write_ns = now;
+                }
+                if was_clean && mask != 0 {
+                    sh.dirty_blocks += 1;
+                }
+                sh.pool_mut().lrw.touch(slot);
+            },
         );
-        sh.pool_mut().block_mut(slot)[in_blk..in_blk + payload.len()].copy_from_slice(payload);
-        let was_clean = sh.pool().meta(slot).dirty == 0;
-        {
-            let m = sh.pool_mut().meta_mut(slot);
-            m.valid |= mask;
-            m.dirty |= mask;
-            m.last_write_ns = now;
-        }
-        if was_clean && mask != 0 {
-            sh.dirty_blocks += 1;
-        }
-        sh.pool_mut().lrw.touch(slot);
     }
 
     /// Fetches (CLFW) the lines in `need` that are not yet valid in `slot`,
@@ -395,7 +409,13 @@ impl Hinfs {
         // overhead the page-cache baselines pay per page. This is part of
         // why an uncoalesced buffered write is *worse* than a direct one
         // (paper §3.3.2) beyond the pure `L_dram` term.
-        self.env.charge(Cat::Other, self.env.cost().page_cache_ns);
+        self.inner.device().spans().scope(
+            Phase::BufLookup,
+            || self.env.now(),
+            || {
+                self.env.charge(Cat::Other, self.env.cost().page_cache_ns);
+            },
+        );
         loop {
             let mut sh = self.shared.lock();
             if let Some(slot) = sh.slot_of(ino, iblk) {
@@ -470,37 +490,45 @@ impl Hinfs {
             let sh = self.shared.lock();
             match sh.slot_of(of.ino, iblk) {
                 Some(slot) => {
-                    let meta = *sh.pool().meta(slot);
-                    let rmask = range_mask(in_blk, chunk);
-                    // Stitch: valid lines from DRAM, the rest from NVMM (or
-                    // zero for holes). One copy per consecutive run.
-                    for (start, nl) in runs(rmask & meta.valid) {
-                        let (s, e) = clip(start, nl, in_blk, chunk);
-                        out[s - in_blk..e - in_blk].copy_from_slice(&sh.pool().block(slot)[s..e]);
-                        self.env.charge_dram_copy(Cat::UserRead, e - s);
-                    }
-                    let nvmm_mask = rmask & !meta.valid;
-                    if nvmm_mask != 0 {
-                        let pblk = if meta.nvmm_block != 0 {
-                            Some(meta.nvmm_block)
-                        } else {
-                            pmfs::tree::lookup(self.dev(), state, iblk)
-                        };
-                        for (start, nl) in runs(nvmm_mask) {
-                            let (s, e) = clip(start, nl, in_blk, chunk);
-                            match pblk {
-                                Some(p) => self.dev().read(
-                                    Cat::UserRead,
-                                    Layout::block_off(p) + s as u64,
-                                    &mut out[s - in_blk..e - in_blk],
-                                ),
-                                None => {
-                                    out[s - in_blk..e - in_blk].fill(0);
-                                    self.env.charge_dram_copy(Cat::UserRead, e - s);
+                    self.inner.device().spans().scope(
+                        Phase::CachelineStitch,
+                        || self.env.now(),
+                        || {
+                            let meta = *sh.pool().meta(slot);
+                            let rmask = range_mask(in_blk, chunk);
+                            // Stitch: valid lines from DRAM, the rest from
+                            // NVMM (or zero for holes). One copy per
+                            // consecutive run.
+                            for (start, nl) in runs(rmask & meta.valid) {
+                                let (s, e) = clip(start, nl, in_blk, chunk);
+                                out[s - in_blk..e - in_blk]
+                                    .copy_from_slice(&sh.pool().block(slot)[s..e]);
+                                self.env.charge_dram_copy(Cat::UserRead, e - s);
+                            }
+                            let nvmm_mask = rmask & !meta.valid;
+                            if nvmm_mask != 0 {
+                                let pblk = if meta.nvmm_block != 0 {
+                                    Some(meta.nvmm_block)
+                                } else {
+                                    pmfs::tree::lookup(self.dev(), state, iblk)
+                                };
+                                for (start, nl) in runs(nvmm_mask) {
+                                    let (s, e) = clip(start, nl, in_blk, chunk);
+                                    match pblk {
+                                        Some(p) => self.dev().read(
+                                            Cat::UserRead,
+                                            Layout::block_off(p) + s as u64,
+                                            &mut out[s - in_blk..e - in_blk],
+                                        ),
+                                        None => {
+                                            out[s - in_blk..e - in_blk].fill(0);
+                                            self.env.charge_dram_copy(Cat::UserRead, e - s);
+                                        }
+                                    }
                                 }
                             }
-                        }
-                    }
+                        },
+                    );
                 }
                 None => {
                     drop(sh);
@@ -569,12 +597,18 @@ impl Hinfs {
                 ino,
             };
             let mut to_evict: Vec<u64> = Vec::new();
-            for (iblk, n_cf) in evals {
-                let lazy = checker::evaluate_at_sync(&ctx, file, iblk, n_cf);
-                if !lazy && file.index.get(iblk).is_some() {
-                    to_evict.push(iblk);
-                }
-            }
+            self.inner.device().spans().scope(
+                Phase::GhostProbe,
+                || self.env.now(),
+                || {
+                    for (iblk, n_cf) in evals {
+                        let lazy = checker::evaluate_at_sync(&ctx, file, iblk, n_cf);
+                        if !lazy && file.index.get(iblk).is_some() {
+                            to_evict.push(iblk);
+                        }
+                    }
+                },
+            );
             file.last_sync_ns = now;
             state.last_sync = now;
             // Blocks now in the Eager-Persistent state leave the buffer so

@@ -384,7 +384,13 @@ impl Hinfs {
             .clock
             .load(Ordering::Relaxed)
             .clamp(now, now + MAX_LEAD);
-        let ((), end) = self.env.with_now(wb_now, || self.wb_pass(wb_now));
+        // The pass runs inline on the caller's thread but on the writeback
+        // actor's own timeline: detach span attribution so its device time
+        // lands in the background row, not in whichever op triggered it.
+        let ((), end) = self
+            .dev()
+            .spans()
+            .detached(|| self.env.with_now(wb_now, || self.wb_pass(wb_now)));
         self.wb.clock.store(end, Ordering::Relaxed);
     }
 

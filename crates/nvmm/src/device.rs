@@ -18,6 +18,7 @@
 
 use std::sync::Arc;
 
+use obsv::{Phase, SpanTable};
 use parking_lot::{Mutex, RwLock};
 
 use crate::crash::Shadow;
@@ -35,7 +36,38 @@ pub struct NvmmDevice {
     shadow: Option<Mutex<Shadow>>,
     stats: DeviceStats,
     fault: Arc<FaultHook>,
+    spans: Arc<SpanTable>,
     len: usize,
+}
+
+/// Phase a device *read* charges, by traffic category: journal undo-image
+/// reads stay in [`Phase::Journal`], metadata reads in [`Phase::Index`],
+/// everything else (user reads, CLFW fetches, writeback reads) is an
+/// NVMM→DRAM copy.
+fn read_phase(cat: Cat) -> Phase {
+    match cat {
+        Cat::Journal => Phase::Journal,
+        Cat::Meta => Phase::Index,
+        _ => Phase::NvmmCopy,
+    }
+}
+
+/// Phase a durable store (persist / flush) charges, by category.
+fn persist_phase(cat: Cat) -> Phase {
+    match cat {
+        Cat::Journal => Phase::Journal,
+        Cat::Meta => Phase::Index,
+        _ => Phase::Persist,
+    }
+}
+
+/// Phase a cached (volatile) store charges, by category.
+fn cached_phase(cat: Cat) -> Phase {
+    match cat {
+        Cat::Journal => Phase::Journal,
+        Cat::Meta => Phase::Index,
+        _ => Phase::DramCopy,
+    }
 }
 
 impl NvmmDevice {
@@ -60,8 +92,17 @@ impl NvmmDevice {
             shadow: tracked.then(|| Mutex::new(Shadow::new(len))),
             stats: DeviceStats::new(),
             fault: FaultHook::new(),
+            spans: Arc::new(SpanTable::new()),
             len,
         })
+    }
+
+    /// The per-op × per-phase span matrix every access to this device
+    /// charges into. Disabled by default (one relaxed load per hook);
+    /// file systems mounted on the device share this table so their
+    /// software-side phases land in the same matrix.
+    pub fn spans(&self) -> &Arc<SpanTable> {
+        &self.spans
     }
 
     /// The fault-injection hook of this device. Installing a
@@ -123,18 +164,24 @@ impl NvmmDevice {
     ///
     /// Panics if the range is out of bounds.
     pub fn read(&self, cat: Cat, off: u64, buf: &mut [u8]) {
-        self.check(off, buf.len());
-        {
-            let mem = self.mem.read();
-            buf.copy_from_slice(&mem[off as usize..off as usize + buf.len()]);
-        }
-        self.stats.add_read(buf.len() as u64);
-        self.env.charge_dram_copy(cat, buf.len());
-        let extra = self.env.cost().nvmm_read_extra_ns;
-        if extra > 0 {
-            self.env
-                .charge(cat, extra * lines_touched(off, buf.len()) as u64);
-        }
+        self.spans.scope(
+            read_phase(cat),
+            || self.env.now(),
+            || {
+                self.check(off, buf.len());
+                {
+                    let mem = self.mem.read();
+                    buf.copy_from_slice(&mem[off as usize..off as usize + buf.len()]);
+                }
+                self.stats.add_read(buf.len() as u64);
+                self.env.charge_dram_copy(cat, buf.len());
+                let extra = self.env.cost().nvmm_read_extra_ns;
+                if extra > 0 {
+                    self.env
+                        .charge(cat, extra * lines_touched(off, buf.len()) as u64);
+                }
+            },
+        )
     }
 
     /// Writes `data` at `off` with non-temporal stores: durable on return.
@@ -145,19 +192,25 @@ impl NvmmDevice {
     ///
     /// Panics if the range is out of bounds.
     pub fn write_persist(&self, cat: Cat, off: u64, data: &[u8]) {
-        self.check(off, data.len());
-        {
-            let mut mem = self.mem.write();
-            mem[off as usize..off as usize + data.len()].copy_from_slice(data);
-            if let Some(shadow) = &self.shadow {
-                shadow.lock().persist_now(&mem, off, data.len());
-            }
-        }
-        let lines = lines_touched(off, data.len());
-        self.stats.add_written((lines * CACHELINE) as u64);
-        self.env.charge_dram_copy(cat, data.len());
-        self.env.nvmm_persist(cat, lines);
-        self.fault_boundary(BoundaryKind::Persist, off, lines);
+        self.spans.scope(
+            persist_phase(cat),
+            || self.env.now(),
+            || {
+                self.check(off, data.len());
+                {
+                    let mut mem = self.mem.write();
+                    mem[off as usize..off as usize + data.len()].copy_from_slice(data);
+                    if let Some(shadow) = &self.shadow {
+                        shadow.lock().persist_now(&mem, off, data.len());
+                    }
+                }
+                let lines = lines_touched(off, data.len());
+                self.stats.add_written((lines * CACHELINE) as u64);
+                self.env.charge_dram_copy(cat, data.len());
+                self.env.nvmm_persist(cat, lines);
+                self.fault_boundary(BoundaryKind::Persist, off, lines);
+            },
+        )
     }
 
     /// Writes `data` at `off` with regular (cached) stores: *not* durable
@@ -167,16 +220,22 @@ impl NvmmDevice {
     ///
     /// Panics if the range is out of bounds.
     pub fn write_cached(&self, cat: Cat, off: u64, data: &[u8]) {
-        self.check(off, data.len());
-        {
-            let mut mem = self.mem.write();
-            mem[off as usize..off as usize + data.len()].copy_from_slice(data);
-            if let Some(shadow) = &self.shadow {
-                shadow.lock().mark_range(off, data.len());
-            }
-        }
-        self.stats.add_cached_store(data.len() as u64);
-        self.env.charge_dram_copy(cat, data.len());
+        self.spans.scope(
+            cached_phase(cat),
+            || self.env.now(),
+            || {
+                self.check(off, data.len());
+                {
+                    let mut mem = self.mem.write();
+                    mem[off as usize..off as usize + data.len()].copy_from_slice(data);
+                    if let Some(shadow) = &self.shadow {
+                        shadow.lock().mark_range(off, data.len());
+                    }
+                }
+                self.stats.add_cached_store(data.len() as u64);
+                self.env.charge_dram_copy(cat, data.len());
+            },
+        )
     }
 
     /// Flushes the cachelines covering `[off, off+len)` to the persistence
@@ -192,27 +251,39 @@ impl NvmmDevice {
         if len == 0 {
             return;
         }
-        let lines = match &self.shadow {
-            Some(shadow) => {
-                let mem = self.mem.read();
-                shadow.lock().flush_range(&mem, off, len)
-            }
-            None => lines_touched(off, len),
-        };
-        if lines == 0 {
-            return;
-        }
-        self.stats.add_flush_lines(lines as u64);
-        self.stats.add_written((lines * CACHELINE) as u64);
-        self.env.nvmm_persist(cat, lines);
-        self.fault_boundary(BoundaryKind::Flush, off, lines);
+        self.spans.scope(
+            persist_phase(cat),
+            || self.env.now(),
+            || {
+                let lines = match &self.shadow {
+                    Some(shadow) => {
+                        let mem = self.mem.read();
+                        shadow.lock().flush_range(&mem, off, len)
+                    }
+                    None => lines_touched(off, len),
+                };
+                if lines == 0 {
+                    return;
+                }
+                self.stats.add_flush_lines(lines as u64);
+                self.stats.add_written((lines * CACHELINE) as u64);
+                self.env.nvmm_persist(cat, lines);
+                self.fault_boundary(BoundaryKind::Flush, off, lines);
+            },
+        )
     }
 
     /// Issues a store fence (ordering point).
     pub fn sfence(&self) {
-        self.stats.add_fence();
-        self.env.charge_fence();
-        self.fault_boundary(BoundaryKind::Fence, 0, 0);
+        self.spans.scope(
+            Phase::Fence,
+            || self.env.now(),
+            || {
+                self.stats.add_fence();
+                self.env.charge_fence();
+                self.fault_boundary(BoundaryKind::Fence, 0, 0);
+            },
+        )
     }
 
     /// Writes zeroes over `[off, off+len)` with non-temporal stores.
@@ -221,18 +292,23 @@ impl NvmmDevice {
         if len == 0 {
             return;
         }
-        {
-            let mut mem = self.mem.write();
-            mem[off as usize..off as usize + len].fill(0);
-            if let Some(shadow) = &self.shadow {
-                shadow.lock().persist_now(&mem, off, len);
-            }
-        }
-        let lines = lines_touched(off, len);
-        self.stats.add_written((lines * CACHELINE) as u64);
-        self.env.charge_dram_copy(cat, len);
-        self.env.nvmm_persist(cat, lines);
-        self.fault_boundary(BoundaryKind::Persist, off, lines);
+        self.spans.scope(
+            persist_phase(cat),
+            || self.env.now(),
+            || {
+                let mut mem = self.mem.write();
+                mem[off as usize..off as usize + len].fill(0);
+                if let Some(shadow) = &self.shadow {
+                    shadow.lock().persist_now(&mem, off, len);
+                }
+                drop(mem);
+                let lines = lines_touched(off, len);
+                self.stats.add_written((lines * CACHELINE) as u64);
+                self.env.charge_dram_copy(cat, len);
+                self.env.nvmm_persist(cat, lines);
+                self.fault_boundary(BoundaryKind::Persist, off, lines);
+            },
+        )
     }
 
     /// Reads a little-endian `u64` at `off` (must not straddle a cacheline,
@@ -434,6 +510,34 @@ mod tests {
         let mut buf = [0u8; 256];
         d.peek(0, &mut buf);
         assert!(buf.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn spans_attribute_device_time_by_phase() {
+        let d = dev();
+        d.env().set_now(0);
+        ledger::reset();
+        d.spans().set_enabled(true);
+        let t0 = d.env().now();
+        d.write_persist(Cat::UserWrite, 0, &[7u8; 4096]);
+        d.sfence();
+        let mut buf = [0u8; 4096];
+        d.read(Cat::UserRead, 0, &mut buf);
+        d.write_persist(Cat::Journal, 8192, &[1u8; 64]);
+        let elapsed = d.env().now() - t0;
+        let s = d.spans().snapshot();
+        // No op context -> the background row; every charged nanosecond
+        // lands in exactly one phase and the matrix sums to elapsed time.
+        assert!(s.ns[obsv::BG_ROW][Phase::Persist as usize] > 0);
+        assert!(s.ns[obsv::BG_ROW][Phase::Fence as usize] > 0);
+        assert!(s.ns[obsv::BG_ROW][Phase::NvmmCopy as usize] > 0);
+        assert!(s.ns[obsv::BG_ROW][Phase::Journal as usize] > 0);
+        assert_eq!(s.grand_total(), elapsed);
+        // Disabled table stays silent.
+        d.spans().set_enabled(false);
+        let before = d.spans().snapshot();
+        d.sfence();
+        assert_eq!(d.spans().snapshot(), before);
     }
 
     #[test]

@@ -135,19 +135,33 @@ impl HistoSnapshot {
         self.sum as f64 / self.count as f64
     }
 
-    /// The `q`-quantile (`0.0..=1.0`) as a bucket upper edge, clamped to
-    /// the exact max. Returns 0 for an empty histogram.
+    /// The `q`-quantile (`0.0..=1.0`), linearly interpolated within the
+    /// bucket the rank lands in and clamped to the exact max. Exact for
+    /// the low sub-bucket range; elsewhere within one bucket width
+    /// (relative error ≤ `1/SUB_BUCKETS`). Returns 0 for an empty
+    /// histogram and is monotone in `q`.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
-        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let rank = (q * self.count as f64).clamp(1.0, self.count as f64);
         let mut cum = 0u64;
         for (b, &n) in self.buckets.iter().enumerate() {
-            cum += n;
-            if cum >= rank {
-                return bucket_upper(b).min(self.max);
+            if n == 0 {
+                continue;
             }
+            if (cum + n) as f64 >= rank {
+                let upper = bucket_upper(b).min(self.max);
+                let lower = if b == 0 {
+                    0
+                } else {
+                    bucket_upper(b - 1).saturating_add(1).min(upper)
+                };
+                let frac = (rank - cum as f64) / n as f64;
+                let v = lower as f64 + frac * (upper - lower) as f64;
+                return (v.round() as u64).min(self.max);
+            }
+            cum += n;
         }
         self.max
     }
@@ -251,15 +265,59 @@ mod tests {
         assert_eq!(s.count(), 1000);
         assert_eq!(s.sum(), 500_500);
         assert_eq!(s.max(), 1000);
-        for (q, exact) in [(0.50, 500u64), (0.90, 900), (0.99, 990), (0.999, 999)] {
+        for (q, exact) in [
+            (0.50, 500u64),
+            (0.90, 900),
+            (0.95, 950),
+            (0.99, 990),
+            (0.999, 999),
+        ] {
             let got = s.quantile(q);
-            assert!(got >= exact, "q={q}: {got} < exact {exact}");
+            // Interpolation lands within one bucket width of the exact
+            // quantile, on either side.
+            let tol = exact / SUB_BUCKETS + 1;
             assert!(
-                got <= exact + exact / SUB_BUCKETS + 1,
-                "q={q}: {got} overshoots {exact}"
+                got.abs_diff(exact) <= tol,
+                "q={q}: {got} vs exact {exact} (tol {tol})"
             );
         }
         assert_eq!(s.quantile(1.0), 1000, "p100 is the exact max");
+    }
+
+    #[test]
+    fn quantile_is_monotone_in_q() {
+        let h = Histo::new();
+        for v in [3u64, 90, 90, 4000, 123_456, 123_456, 123_456, 9_999_999] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let mut last = 0;
+        for i in 0..=100 {
+            let v = s.quantile(i as f64 / 100.0);
+            assert!(v >= last, "quantile not monotone at q={i}%");
+            last = v;
+        }
+        assert_eq!(last, s.max());
+    }
+
+    #[test]
+    fn overflow_bucket_quantiles_clamp_to_max() {
+        // Samples in the topmost bucket, where the nominal upper edge
+        // wraps: quantiles must clamp to the exact recorded max.
+        let h = Histo::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX - 5);
+        let s = h.snapshot();
+        assert_eq!(s.max(), u64::MAX);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            let got = s.quantile(q);
+            assert!(got >= u64::MAX - (u64::MAX / SUB_BUCKETS), "q={q}: {got}");
+        }
+        assert_eq!(s.quantile(1.0), u64::MAX);
+        // Single-sample overflow bucket is exact-by-clamp at p100.
+        let h2 = Histo::new();
+        h2.record(u64::MAX - 1);
+        assert_eq!(h2.snapshot().quantile(1.0), u64::MAX - 1);
     }
 
     #[test]

@@ -18,14 +18,16 @@
 
 mod histo;
 mod registry;
+mod span;
 mod trace;
 
 pub use histo::{bucket_of, bucket_upper, Histo, HistoSnapshot, N_BUCKETS, SUB_BUCKETS};
 pub use registry::{Counter, MetricSource, MetricsRegistry, RegistrySnapshot, Visitor};
+pub use span::{row_label, Phase, SpanSnapshot, SpanTable, ALL_PHASES, BG_ROW, NPHASES, SPAN_ROWS};
 pub use trace::{TraceEvent, TraceRecord, TraceRing};
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Syscall categories tracked per file system (the Fig 12 breakdown uses
 /// `Read`, `Write`, `Unlink` and `Fsync`).
@@ -107,6 +109,9 @@ pub struct FsObs {
     /// The structured event ring, shared with subsystems (journal) that
     /// emit into the same timeline.
     pub trace: Arc<TraceRing>,
+    /// The per-device span matrix, installed at mount so this bundle's
+    /// exposition includes the OpKind × Phase breakdown.
+    spans: OnceLock<Arc<SpanTable>>,
 }
 
 impl Default for FsObs {
@@ -123,7 +128,19 @@ impl FsObs {
             ops: std::array::from_fn(|_| Histo::new()),
             slow: Mutex::new(Vec::with_capacity(SLOW_CAP)),
             trace: Arc::new(TraceRing::new(trace_capacity)),
+            spans: OnceLock::new(),
         }
+    }
+
+    /// Installs the span matrix this file system charges into (the
+    /// device's table). First caller wins, like `Journal::set_trace`.
+    pub fn set_spans(&self, spans: Arc<SpanTable>) {
+        let _ = self.spans.set(spans);
+    }
+
+    /// The installed span matrix, if any.
+    pub fn spans(&self) -> Option<&Arc<SpanTable>> {
+        self.spans.get()
     }
 
     /// Whether per-op latency recording is on.
@@ -179,6 +196,9 @@ impl MetricSource for FsObs {
         }
         out.counter("trace_events", self.trace.emitted());
         out.counter("trace_dropped", self.trace.dropped());
+        if let Some(spans) = self.spans.get() {
+            spans.collect(out);
+        }
     }
 }
 

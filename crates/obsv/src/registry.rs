@@ -57,6 +57,7 @@ impl Counter {
 pub struct MetricsRegistry {
     sources: Mutex<Vec<(String, Arc<dyn MetricSource>)>>,
     owned: Mutex<Vec<(String, Counter)>>,
+    help: Mutex<BTreeMap<String, String>>,
 }
 
 impl std::fmt::Debug for MetricsRegistry {
@@ -96,11 +97,23 @@ impl MetricsRegistry {
         c
     }
 
+    /// Attaches `# HELP` text to a metric family for the Prometheus
+    /// exposition. Last call per name wins.
+    pub fn describe(&self, name: &str, help: &str) {
+        self.help
+            .lock()
+            .unwrap()
+            .insert(name.to_string(), help.to_string());
+    }
+
     /// Collects every source into a snapshot. Metrics reported under the
     /// same final name are summed (counters, histograms) or last-wins
     /// (gauges).
     pub fn snapshot(&self) -> RegistrySnapshot {
-        let mut snap = RegistrySnapshot::default();
+        let mut snap = RegistrySnapshot {
+            help: self.help.lock().unwrap().clone(),
+            ..RegistrySnapshot::default()
+        };
         for (name, c) in self.owned.lock().unwrap().iter() {
             *snap.counters.entry(name.clone()).or_insert(0) += c.get();
         }
@@ -154,6 +167,8 @@ pub struct RegistrySnapshot {
     pub gauges: BTreeMap<String, u64>,
     /// Distributions.
     pub histos: BTreeMap<String, HistoSnapshot>,
+    /// `# HELP` text per family, from [`MetricsRegistry::describe`].
+    pub help: BTreeMap<String, String>,
 }
 
 impl RegistrySnapshot {
@@ -196,28 +211,46 @@ impl RegistrySnapshot {
             counters,
             gauges: self.gauges.clone(),
             histos,
+            help: self.help.clone(),
         }
     }
 
-    /// Prometheus text exposition (counters, gauges, and histograms as
-    /// summaries with quantile labels).
+    /// Prometheus text exposition, conforming to the text-format grammar:
+    /// per family exactly one `# TYPE` (and one `# HELP` when registered
+    /// via [`MetricsRegistry::describe`]) immediately before its samples,
+    /// label values escaped per the spec. Histograms render as summaries
+    /// with `quantile` labels plus a separate `<name>_max` gauge family
+    /// (`_max` is not part of the summary grammar).
     pub fn to_prometheus(&self) -> String {
         let mut out = String::new();
+        let header = |out: &mut String, name: &str, kind: &str| {
+            if let Some(h) = self.help.get(name) {
+                out.push_str(&format!("# HELP {name} {}\n", escape_help(h)));
+            }
+            out.push_str(&format!("# TYPE {name} {kind}\n"));
+        };
         for (name, v) in &self.counters {
-            out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+            header(&mut out, name, "counter");
+            out.push_str(&format!("{name} {v}\n"));
         }
         for (name, v) in &self.gauges {
-            out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
+            header(&mut out, name, "gauge");
+            out.push_str(&format!("{name} {v}\n"));
         }
         for (name, h) in &self.histos {
             let (p50, p90, p99, p999) = h.percentiles();
-            out.push_str(&format!("# TYPE {name} summary\n"));
+            header(&mut out, name, "summary");
             for (q, v) in [("0.5", p50), ("0.9", p90), ("0.99", p99), ("0.999", p999)] {
-                out.push_str(&format!("{name}{{quantile=\"{q}\"}} {v}\n"));
+                out.push_str(&format!(
+                    "{name}{{quantile=\"{}\"}} {v}\n",
+                    escape_label_value(q)
+                ));
             }
             out.push_str(&format!("{name}_sum {}\n", h.sum()));
             out.push_str(&format!("{name}_count {}\n", h.count()));
-            out.push_str(&format!("{name}_max {}\n", h.max()));
+            let max_name = format!("{name}_max");
+            header(&mut out, &max_name, "gauge");
+            out.push_str(&format!("{max_name} {}\n", h.max()));
         }
         out
     }
@@ -270,6 +303,31 @@ fn push_map<'a>(out: &mut String, entries: impl Iterator<Item = (&'a String, Str
         first = false;
         out.push_str(&format!("\"{}\":{}", escape_json(k), v));
     }
+}
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote and line feed.
+fn escape_label_value(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '\\' => "\\\\".chars().collect::<Vec<_>>(),
+            '"' => "\\\"".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Escapes `# HELP` text per the exposition format: backslash and line
+/// feed only.
+fn escape_help(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '\\' => "\\\\".chars().collect::<Vec<_>>(),
+            '\n' => "\\n".chars().collect(),
+            c => vec![c],
+        })
+        .collect()
 }
 
 fn escape_json(s: &str) -> String {
@@ -387,6 +445,92 @@ mod tests {
         assert!(text.contains("lat_ns{quantile=\"0.5\"}"), "{text}");
         assert!(text.contains("lat_ns_count 2\n"), "{text}");
         assert!(text.contains("lat_ns_max 20\n"), "{text}");
+    }
+
+    #[test]
+    fn exposition_conforms_to_the_text_format_grammar() {
+        let reg = MetricsRegistry::new();
+        reg.register(
+            "",
+            Arc::new(FakeSource {
+                hits: AtomicU64::new(7),
+            }),
+        );
+        reg.describe("hits", "total cache hits, with \\ and\nnewline");
+        reg.describe("lat_ns", "operation latency");
+        let text = reg.snapshot().to_prometheus();
+
+        // Line-by-line parse against the exposition grammar.
+        let name_ok = |n: &str| {
+            !n.is_empty()
+                && n.chars().next().unwrap().is_ascii_alphabetic()
+                && n.chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        };
+        let mut type_of: BTreeMap<String, String> = BTreeMap::new();
+        let mut help_seen: BTreeMap<String, u32> = BTreeMap::new();
+        let mut current_family: Option<String> = None;
+        for line in text.lines() {
+            assert!(!line.is_empty(), "blank line in exposition");
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                let (name, help) = rest.split_once(' ').expect("HELP has text");
+                assert!(name_ok(name), "bad family name {name:?}");
+                assert!(!help.contains('\n'));
+                *help_seen.entry(name.to_string()).or_insert(0) += 1;
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let (name, kind) = rest.split_once(' ').expect("TYPE has kind");
+                assert!(name_ok(name), "bad family name {name:?}");
+                assert!(
+                    ["counter", "gauge", "summary", "histogram", "untyped"].contains(&kind),
+                    "bad TYPE {kind:?}"
+                );
+                assert!(
+                    type_of.insert(name.to_string(), kind.to_string()).is_none(),
+                    "# TYPE {name} declared twice"
+                );
+                current_family = Some(name.to_string());
+                continue;
+            }
+            assert!(!line.starts_with('#'), "unknown comment {line:?}");
+            // A sample: name[{labels}] value — and it must belong to the
+            // family whose TYPE line is in force.
+            let (name_labels, value) = line.rsplit_once(' ').expect("sample has value");
+            assert!(value.parse::<f64>().is_ok(), "bad value {value:?}");
+            let name = match name_labels.split_once('{') {
+                Some((n, labels)) => {
+                    let labels = labels.strip_suffix('}').expect("labels close");
+                    for pair in labels.split(',') {
+                        let (k, v) = pair.split_once('=').expect("label pair");
+                        assert!(name_ok(k), "bad label name {k:?}");
+                        assert!(v.starts_with('"') && v.ends_with('"'), "unquoted {v:?}");
+                    }
+                    n
+                }
+                None => name_labels,
+            };
+            let fam = current_family.as_deref().expect("sample before any TYPE");
+            let base = match type_of.get(fam).map(String::as_str) {
+                Some("summary") => name
+                    .strip_suffix("_sum")
+                    .or_else(|| name.strip_suffix("_count"))
+                    .unwrap_or(name),
+                _ => name,
+            };
+            assert_eq!(base, fam, "sample {name} outside its family block");
+        }
+        for (name, n) in help_seen {
+            assert_eq!(n, 1, "# HELP {name} repeated");
+            assert!(type_of.contains_key(&name), "HELP without TYPE for {name}");
+        }
+        // The registered help text came through, escaped.
+        assert!(
+            text.contains("# HELP hits total cache hits, with \\\\ and\\nnewline"),
+            "{text}"
+        );
+        // Label values pass through the escaper.
+        assert_eq!(escape_label_value("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
     }
 
     #[test]

@@ -126,6 +126,108 @@ impl TraceEvent {
     }
 }
 
+impl TraceEvent {
+    /// Stable dotted kind label, shared by the human dump and the JSONL
+    /// export.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::ReclaimBegin { .. } => "reclaim.begin",
+            TraceEvent::ReclaimEnd { .. } => "reclaim.end",
+            TraceEvent::WatermarkLow { .. } => "watermark.low",
+            TraceEvent::ForegroundStall { .. } => "foreground.stall",
+            TraceEvent::BbmFlip { .. } => "bbm.flip",
+            TraceEvent::JournalCommit { .. } => "journal.commit",
+            TraceEvent::PeriodicPass { .. } => "writeback.periodic",
+            TraceEvent::RecoveryBegin { .. } => "recovery.begin",
+            TraceEvent::RecoveryEnd { .. } => "recovery.end",
+            TraceEvent::FaultInjected { .. } => "fault.injected",
+        }
+    }
+
+    /// `(name, value)` payload fields in a stable order (`to_lazy` is
+    /// 0/1).
+    fn fields(&self) -> Vec<(&'static str, u64)> {
+        match *self {
+            TraceEvent::ReclaimBegin { free, target } => vec![("free", free), ("target", target)],
+            TraceEvent::ReclaimEnd { victims, free } => vec![("victims", victims), ("free", free)],
+            TraceEvent::WatermarkLow { free, low } => vec![("free", free), ("low", low)],
+            TraceEvent::ForegroundStall { ino } => vec![("ino", ino)],
+            TraceEvent::BbmFlip {
+                ino,
+                iblk,
+                to_lazy,
+                n_cw,
+                n_cf,
+            } => vec![
+                ("ino", ino),
+                ("iblk", iblk),
+                ("to_lazy", u64::from(to_lazy)),
+                ("n_cw", n_cw),
+                ("n_cf", n_cf),
+            ],
+            TraceEvent::JournalCommit { txid, log_entries } => {
+                vec![("txid", txid), ("log_entries", log_entries)]
+            }
+            TraceEvent::PeriodicPass { age_flushed } => vec![("age_flushed", age_flushed)],
+            TraceEvent::RecoveryBegin { gen } => vec![("gen", gen)],
+            TraceEvent::RecoveryEnd {
+                txs_undone,
+                entries_undone,
+            } => vec![
+                ("txs_undone", txs_undone),
+                ("entries_undone", entries_undone),
+            ],
+            TraceEvent::FaultInjected { kind, at_boundary } => {
+                vec![("kind", kind), ("at_boundary", at_boundary)]
+            }
+        }
+    }
+
+    /// Rebuilds an event from its kind label and named fields (the
+    /// inverse of [`TraceEvent::fields`]).
+    fn from_fields(kind: &str, get: impl Fn(&str) -> Option<u64>) -> Option<TraceEvent> {
+        Some(match kind {
+            "reclaim.begin" => TraceEvent::ReclaimBegin {
+                free: get("free")?,
+                target: get("target")?,
+            },
+            "reclaim.end" => TraceEvent::ReclaimEnd {
+                victims: get("victims")?,
+                free: get("free")?,
+            },
+            "watermark.low" => TraceEvent::WatermarkLow {
+                free: get("free")?,
+                low: get("low")?,
+            },
+            "foreground.stall" => TraceEvent::ForegroundStall { ino: get("ino")? },
+            "bbm.flip" => TraceEvent::BbmFlip {
+                ino: get("ino")?,
+                iblk: get("iblk")?,
+                to_lazy: get("to_lazy")? != 0,
+                n_cw: get("n_cw")?,
+                n_cf: get("n_cf")?,
+            },
+            "journal.commit" => TraceEvent::JournalCommit {
+                txid: get("txid")?,
+                log_entries: get("log_entries")?,
+            },
+            "writeback.periodic" => TraceEvent::PeriodicPass {
+                age_flushed: get("age_flushed")?,
+            },
+            "recovery.begin" => TraceEvent::RecoveryBegin { gen: get("gen")? },
+            "recovery.end" => TraceEvent::RecoveryEnd {
+                txs_undone: get("txs_undone")?,
+                entries_undone: get("entries_undone")?,
+            },
+            "fault.injected" => TraceEvent::FaultInjected {
+                kind: get("kind")?,
+                at_boundary: get("at_boundary")?,
+            },
+            _ => return None,
+        })
+    }
+}
+
 impl std::fmt::Display for TraceEvent {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match *self {
@@ -192,6 +294,50 @@ pub struct TraceRecord {
 impl std::fmt::Display for TraceRecord {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "[{:>12} ns] #{:<6} {}", self.at_ns, self.seq, self.ev)
+    }
+}
+
+impl TraceRecord {
+    /// One flat JSON object: `{"seq":..,"at_ns":..,"kind":"..",<fields>}`.
+    /// All values are unsigned integers except `kind`; `to_lazy` is 0/1.
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"seq\":{},\"at_ns\":{},\"kind\":\"{}\"",
+            self.seq,
+            self.at_ns,
+            self.ev.kind()
+        );
+        for (k, v) in self.ev.fields() {
+            out.push_str(&format!(",\"{k}\":{v}"));
+        }
+        out.push('}');
+        out
+    }
+
+    /// Parses a line produced by [`TraceRecord::to_json`]. Returns `None`
+    /// on malformed input or an unknown kind.
+    pub fn from_json(line: &str) -> Option<TraceRecord> {
+        let body = line.trim().strip_prefix('{')?.strip_suffix('}')?;
+        let mut kind = None;
+        let mut nums: Vec<(String, u64)> = Vec::new();
+        for part in body.split(',') {
+            let (k, v) = part.split_once(':')?;
+            let k = k.trim().strip_prefix('"')?.strip_suffix('"')?;
+            let v = v.trim();
+            if let Some(s) = v.strip_prefix('"') {
+                if k == "kind" {
+                    kind = Some(s.strip_suffix('"')?.to_string());
+                }
+            } else {
+                nums.push((k.to_string(), v.parse().ok()?));
+            }
+        }
+        let get = |name: &str| nums.iter().find(|(k, _)| k == name).map(|&(_, v)| v);
+        Some(TraceRecord {
+            seq: get("seq")?,
+            at_ns: get("at_ns")?,
+            ev: TraceEvent::from_fields(&kind?, get)?,
+        })
     }
 }
 
@@ -306,6 +452,17 @@ impl TraceRing {
     /// Slot count.
     pub fn capacity(&self) -> usize {
         self.slots.len()
+    }
+
+    /// The most recent `n` retained events as JSONL, oldest first: one
+    /// [`TraceRecord::to_json`] object per line.
+    pub fn tail_jsonl(&self, n: usize) -> String {
+        let mut out = String::new();
+        for rec in self.tail(n) {
+            out.push_str(&rec.to_json());
+            out.push('\n');
+        }
+        out
     }
 
     /// The most recent `n` events, oldest first. Concurrent writers may
@@ -427,6 +584,44 @@ mod tests {
         // A shorter tail keeps only the newest.
         assert_eq!(ring.tail(3).first().unwrap().seq, 17);
         assert_eq!(ring.emitted(), 20);
+    }
+
+    #[test]
+    fn jsonl_roundtrips_every_variant() {
+        // Through the ring end-to-end, covering the PR 2 fault/recovery
+        // events alongside the writeback/BBM ones.
+        let ring = TraceRing::new(32);
+        ring.set_enabled(true);
+        let evs = all_variants();
+        assert!(evs.iter().any(|e| e.kind() == "fault.injected"));
+        assert!(evs.iter().any(|e| e.kind() == "recovery.begin"));
+        assert!(evs.iter().any(|e| e.kind() == "recovery.end"));
+        for (i, ev) in evs.iter().enumerate() {
+            ring.push(i as u64 * 100, *ev);
+        }
+        let jsonl = ring.tail_jsonl(evs.len());
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), evs.len());
+        for (i, line) in lines.iter().enumerate() {
+            // Structurally flat JSON: one object, no nesting, kind field.
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            assert_eq!(line.matches('{').count(), 1);
+            let rec =
+                TraceRecord::from_json(line).unwrap_or_else(|| panic!("unparseable line {line}"));
+            assert_eq!(rec.seq, i as u64);
+            assert_eq!(rec.at_ns, i as u64 * 100);
+            assert_eq!(rec.ev, evs[i], "round-trip mismatch on {line}");
+        }
+        // Malformed input is rejected, not mis-parsed.
+        for bad in [
+            "",
+            "{}",
+            "not json",
+            "{\"seq\":1,\"at_ns\":2,\"kind\":\"no.such.kind\"}",
+            "{\"seq\":1,\"at_ns\":2,\"kind\":\"foreground.stall\"}",
+        ] {
+            assert!(TraceRecord::from_json(bad).is_none(), "accepted {bad:?}");
+        }
     }
 
     #[test]

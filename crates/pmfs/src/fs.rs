@@ -15,6 +15,7 @@ use fskit::{
     DirEntry, Fd, FdTable, FileSystem, FileType, FsError, MmapHandle, OpenFlags, Result, Stat,
 };
 use nvmm::{Cat, NvmmDevice, SimEnv};
+use obsv::{FsObs, OpKind};
 use parking_lot::Mutex;
 
 use crate::alloc::Allocator;
@@ -66,6 +67,7 @@ pub struct Pmfs {
     fds: FdTable<OpenFile>,
     ns: Mutex<()>,
     recovery: RecoveryStats,
+    obs: Arc<FsObs>,
 }
 
 impl Pmfs {
@@ -105,6 +107,8 @@ impl Pmfs {
         layout::set_clean(&dev, false);
         let journal = Journal::open(dev.clone(), &l)?;
         let env = dev.env().clone();
+        let obs = Arc::new(FsObs::default());
+        obs.set_spans(dev.spans().clone());
         Ok(Arc::new(Pmfs {
             dev,
             env,
@@ -115,6 +119,7 @@ impl Pmfs {
             fds: FdTable::new(),
             ns: Mutex::new(()),
             recovery,
+            obs,
         }))
     }
 
@@ -133,6 +138,34 @@ impl Pmfs {
     /// Journal recovery statistics from mount (diagnostics).
     pub fn recovery_stats(&self) -> RecoveryStats {
         self.recovery
+    }
+
+    /// This instance's observability bundle (per-op histograms, slow log,
+    /// trace ring, span matrix). Timing is off by default; HiNFS wraps
+    /// PMFS with its own bundle, so this one is only enabled when PMFS is
+    /// the system under test.
+    pub fn obs(&self) -> &Arc<FsObs> {
+        &self.obs
+    }
+
+    /// Wraps one syscall: attributes nested span phases to `op` (and the
+    /// un-phased remainder to `Phase::Other`), and records the whole-op
+    /// latency when timing is on. Both gates are single relaxed loads
+    /// when their instrument is disabled.
+    fn timed<T>(&self, op: OpKind, f: impl FnOnce() -> Result<T>) -> Result<T> {
+        self.dev.spans().op_scope(
+            op,
+            || self.env.now(),
+            || {
+                if !self.obs.timing_enabled() {
+                    return f();
+                }
+                let t0 = self.env.now();
+                let r = f();
+                self.obs.record_op(op, self.env.now() - t0, t0);
+                r
+            },
+        )
     }
 
     // ----- layering API (used by HiNFS, which is built on these
@@ -291,6 +324,42 @@ impl Pmfs {
         }
     }
 
+    /// Append implementation shared by `append` and APPEND-flagged
+    /// `write` (both wrap it in the op scope / syscall charge).
+    fn append_inner(&self, fd: Fd, data: &[u8]) -> Result<u64> {
+        let of = self.fds.get(fd)?;
+        if !of.flags.writable() {
+            return Err(FsError::BadFd);
+        }
+        let tx = self.journal.begin()?;
+        let res = (|| -> Result<u64> {
+            let mut state = of.handle.state.write();
+            let off = state.size;
+            file::write_at(
+                &self.dev,
+                &self.alloc,
+                &mut state,
+                off,
+                data,
+                self.env.now(),
+            )?;
+            let snap = *state;
+            drop(state);
+            self.log_write_inode(&tx, of.ino, &snap)?;
+            Ok(off)
+        })();
+        match res {
+            Ok(off) => {
+                self.journal.commit(tx);
+                Ok(off)
+            }
+            Err(e) => {
+                self.journal.abort(tx);
+                Err(e)
+            }
+        }
+    }
+
     /// Unlink with the namespace lock already held (also used by rename's
     /// replace path).
     fn unlink_locked(&self, path: &str) -> Result<()> {
@@ -402,196 +471,182 @@ impl FileSystem for Pmfs {
     }
 
     fn open(&self, path: &str, flags: OpenFlags) -> Result<Fd> {
-        self.env.charge_syscall();
-        let _ns = self.ns.lock();
-        let (parent, name) = self.resolve_parent(path)?;
-        fskit::path::validate_name(name)?;
-        let existing = {
-            let pstate = parent.state.read();
-            if pstate.ftype != FileType::Dir {
-                return Err(FsError::NotADirectory);
-            }
-            dir::lookup(&self.dev, &pstate, name)?
-        };
-        let handle = match existing {
-            Some((_, FileType::Dir)) => return Err(FsError::IsADirectory),
-            Some((ino, FileType::File)) => {
-                if flags.contains(OpenFlags::CREATE) && flags.contains(OpenFlags::EXCL) {
-                    return Err(FsError::AlreadyExists);
+        self.timed(OpKind::Open, || {
+            self.env.charge_syscall();
+            let _ns = self.ns.lock();
+            let (parent, name) = self.resolve_parent(path)?;
+            fskit::path::validate_name(name)?;
+            let existing = {
+                let pstate = parent.state.read();
+                if pstate.ftype != FileType::Dir {
+                    return Err(FsError::NotADirectory);
                 }
-                self.inode(ino)?
-            }
-            None => {
-                if !flags.contains(OpenFlags::CREATE) {
-                    return Err(FsError::NotFound);
+                dir::lookup(&self.dev, &pstate, name)?
+            };
+            let handle = match existing {
+                Some((_, FileType::Dir)) => return Err(FsError::IsADirectory),
+                Some((ino, FileType::File)) => {
+                    if flags.contains(OpenFlags::CREATE) && flags.contains(OpenFlags::EXCL) {
+                        return Err(FsError::AlreadyExists);
+                    }
+                    self.inode(ino)?
                 }
-                self.create_node(&parent, name, FileType::File)?
+                None => {
+                    if !flags.contains(OpenFlags::CREATE) {
+                        return Err(FsError::NotFound);
+                    }
+                    self.create_node(&parent, name, FileType::File)?
+                }
+            };
+            if flags.contains(OpenFlags::TRUNC) && flags.writable() {
+                let tx = self.journal.begin()?;
+                let res = (|| -> Result<()> {
+                    let mut state = handle.state.write();
+                    if file::truncate(&self.dev, &self.alloc, &mut state, 0, self.env.now())? {
+                        let snap = *state;
+                        drop(state);
+                        self.log_write_inode(&tx, handle.ino, &snap)?;
+                    }
+                    Ok(())
+                })();
+                match res {
+                    Ok(()) => self.journal.commit(tx),
+                    Err(e) => {
+                        self.journal.abort(tx);
+                        return Err(e);
+                    }
+                }
             }
-        };
-        if flags.contains(OpenFlags::TRUNC) && flags.writable() {
+            *handle.opens.lock() += 1;
+            Ok(self.fds.insert(OpenFile {
+                ino: handle.ino,
+                flags,
+                handle,
+            }))
+        })
+    }
+
+    fn close(&self, fd: Fd) -> Result<()> {
+        self.timed(OpKind::Close, || {
+            self.env.charge_syscall();
+            let of = self.fds.remove(fd)?;
+            let orphan = {
+                let mut opens = of.handle.opens.lock();
+                *opens -= 1;
+                *opens == 0 && of.handle.state.read().nlink == 0
+            };
+            if orphan {
+                self.reap(&of.handle)?;
+            }
+            Ok(())
+        })
+    }
+
+    fn read(&self, fd: Fd, off: u64, buf: &mut [u8]) -> Result<usize> {
+        self.timed(OpKind::Read, || {
+            self.env.charge_syscall();
+            let of = self.fds.get(fd)?;
+            if !of.flags.readable() {
+                return Err(FsError::BadFd);
+            }
+            let state = of.handle.state.read();
+            Ok(file::read_at(&self.dev, &state, off, buf))
+        })
+    }
+
+    fn write(&self, fd: Fd, off: u64, data: &[u8]) -> Result<usize> {
+        self.timed(OpKind::Write, || {
+            self.env.charge_syscall();
+            let of = self.fds.get(fd)?;
+            if !of.flags.writable() {
+                return Err(FsError::BadFd);
+            }
+            if of.flags.contains(OpenFlags::APPEND) {
+                return self.append_inner(fd, data).map(|_| data.len());
+            }
             let tx = self.journal.begin()?;
             let res = (|| -> Result<()> {
-                let mut state = handle.state.write();
-                if file::truncate(&self.dev, &self.alloc, &mut state, 0, self.env.now())? {
+                let mut state = of.handle.state.write();
+                file::write_at(
+                    &self.dev,
+                    &self.alloc,
+                    &mut state,
+                    off,
+                    data,
+                    self.env.now(),
+                )?;
+                let snap = *state;
+                drop(state);
+                self.log_write_inode(&tx, of.ino, &snap)
+            })();
+            match res {
+                Ok(()) => {
+                    self.journal.commit(tx);
+                    Ok(data.len())
+                }
+                Err(e) => {
+                    self.journal.abort(tx);
+                    Err(e)
+                }
+            }
+        })
+    }
+
+    fn append(&self, fd: Fd, data: &[u8]) -> Result<u64> {
+        self.timed(OpKind::Write, || {
+            self.env.charge_syscall();
+            self.append_inner(fd, data)
+        })
+    }
+
+    fn fsync(&self, fd: Fd) -> Result<()> {
+        self.timed(OpKind::Fsync, || {
+            self.env.charge_syscall();
+            let of = self.fds.get(fd)?;
+            // Direct-access writes are already durable; fsync only fences and
+            // records the synchronization time.
+            of.handle.state.write().last_sync = self.env.now();
+            self.dev.sfence();
+            Ok(())
+        })
+    }
+
+    fn truncate(&self, fd: Fd, size: u64) -> Result<()> {
+        self.timed(OpKind::Truncate, || {
+            self.env.charge_syscall();
+            let of = self.fds.get(fd)?;
+            if !of.flags.writable() {
+                return Err(FsError::BadFd);
+            }
+            let tx = self.journal.begin()?;
+            let res = (|| -> Result<()> {
+                let mut state = of.handle.state.write();
+                if file::truncate(&self.dev, &self.alloc, &mut state, size, self.env.now())? {
                     let snap = *state;
                     drop(state);
-                    self.log_write_inode(&tx, handle.ino, &snap)?;
+                    self.log_write_inode(&tx, of.ino, &snap)?;
                 }
                 Ok(())
             })();
             match res {
-                Ok(()) => self.journal.commit(tx),
+                Ok(()) => {
+                    self.journal.commit(tx);
+                    Ok(())
+                }
                 Err(e) => {
                     self.journal.abort(tx);
-                    return Err(e);
+                    Err(e)
                 }
             }
-        }
-        *handle.opens.lock() += 1;
-        Ok(self.fds.insert(OpenFile {
-            ino: handle.ino,
-            flags,
-            handle,
-        }))
-    }
-
-    fn close(&self, fd: Fd) -> Result<()> {
-        self.env.charge_syscall();
-        let of = self.fds.remove(fd)?;
-        let orphan = {
-            let mut opens = of.handle.opens.lock();
-            *opens -= 1;
-            *opens == 0 && of.handle.state.read().nlink == 0
-        };
-        if orphan {
-            self.reap(&of.handle)?;
-        }
-        Ok(())
-    }
-
-    fn read(&self, fd: Fd, off: u64, buf: &mut [u8]) -> Result<usize> {
-        self.env.charge_syscall();
-        let of = self.fds.get(fd)?;
-        if !of.flags.readable() {
-            return Err(FsError::BadFd);
-        }
-        let state = of.handle.state.read();
-        Ok(file::read_at(&self.dev, &state, off, buf))
-    }
-
-    fn write(&self, fd: Fd, off: u64, data: &[u8]) -> Result<usize> {
-        self.env.charge_syscall();
-        let of = self.fds.get(fd)?;
-        if !of.flags.writable() {
-            return Err(FsError::BadFd);
-        }
-        if of.flags.contains(OpenFlags::APPEND) {
-            return self.append(fd, data).map(|_| data.len());
-        }
-        let tx = self.journal.begin()?;
-        let res = (|| -> Result<()> {
-            let mut state = of.handle.state.write();
-            file::write_at(
-                &self.dev,
-                &self.alloc,
-                &mut state,
-                off,
-                data,
-                self.env.now(),
-            )?;
-            let snap = *state;
-            drop(state);
-            self.log_write_inode(&tx, of.ino, &snap)
-        })();
-        match res {
-            Ok(()) => {
-                self.journal.commit(tx);
-                Ok(data.len())
-            }
-            Err(e) => {
-                self.journal.abort(tx);
-                Err(e)
-            }
-        }
-    }
-
-    fn append(&self, fd: Fd, data: &[u8]) -> Result<u64> {
-        self.env.charge_syscall();
-        let of = self.fds.get(fd)?;
-        if !of.flags.writable() {
-            return Err(FsError::BadFd);
-        }
-        let tx = self.journal.begin()?;
-        let res = (|| -> Result<u64> {
-            let mut state = of.handle.state.write();
-            let off = state.size;
-            file::write_at(
-                &self.dev,
-                &self.alloc,
-                &mut state,
-                off,
-                data,
-                self.env.now(),
-            )?;
-            let snap = *state;
-            drop(state);
-            self.log_write_inode(&tx, of.ino, &snap)?;
-            Ok(off)
-        })();
-        match res {
-            Ok(off) => {
-                self.journal.commit(tx);
-                Ok(off)
-            }
-            Err(e) => {
-                self.journal.abort(tx);
-                Err(e)
-            }
-        }
-    }
-
-    fn fsync(&self, fd: Fd) -> Result<()> {
-        self.env.charge_syscall();
-        let of = self.fds.get(fd)?;
-        // Direct-access writes are already durable; fsync only fences and
-        // records the synchronization time.
-        of.handle.state.write().last_sync = self.env.now();
-        self.dev.sfence();
-        Ok(())
-    }
-
-    fn truncate(&self, fd: Fd, size: u64) -> Result<()> {
-        self.env.charge_syscall();
-        let of = self.fds.get(fd)?;
-        if !of.flags.writable() {
-            return Err(FsError::BadFd);
-        }
-        let tx = self.journal.begin()?;
-        let res = (|| -> Result<()> {
-            let mut state = of.handle.state.write();
-            if file::truncate(&self.dev, &self.alloc, &mut state, size, self.env.now())? {
-                let snap = *state;
-                drop(state);
-                self.log_write_inode(&tx, of.ino, &snap)?;
-            }
-            Ok(())
-        })();
-        match res {
-            Ok(()) => {
-                self.journal.commit(tx);
-                Ok(())
-            }
-            Err(e) => {
-                self.journal.abort(tx);
-                Err(e)
-            }
-        }
+        })
     }
 
     fn unlink(&self, path: &str) -> Result<()> {
-        self.env.charge_syscall();
-        let _ns = self.ns.lock();
-        self.unlink_locked(path)
+        self.timed(OpKind::Unlink, || {
+            self.env.charge_syscall();
+            let _ns = self.ns.lock();
+            self.unlink_locked(path)
+        })
     }
 
     fn mkdir(&self, path: &str) -> Result<()> {

@@ -33,7 +33,7 @@ use std::sync::{Arc, OnceLock};
 
 use fskit::{FsError, Result};
 use nvmm::{Cat, NvmmDevice, BLOCK_SIZE, CACHELINE};
-use obsv::{TraceEvent, TraceRing};
+use obsv::{Phase, TraceEvent, TraceRing};
 use parking_lot::Mutex;
 
 use crate::layout::Layout;
@@ -301,25 +301,36 @@ impl Journal {
     /// Opens a new transaction. Fails with [`FsError::JournalFull`] when the
     /// region cannot guarantee space for this transaction's commit entry.
     pub fn begin(&self) -> Result<TxHandle> {
-        if nvmm::fault::journal_blocked(&self.dev) {
-            return Err(FsError::JournalFull);
-        }
-        let mut inner = self.inner.lock();
-        if self.free_entries_locked(&inner) == 0 {
-            return Err(FsError::JournalFull);
-        }
-        let txid = inner.next_txid;
-        inner.next_txid = inner.next_txid.wrapping_add(1).max(1);
-        let start = inner.tail;
-        inner.txs.push_back(TxRec {
-            txid,
-            start,
-            committed: false,
-        });
-        self.stats
-            .begins
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        Ok(TxHandle { txid })
+        self.span(|| {
+            if nvmm::fault::journal_blocked(&self.dev) {
+                return Err(FsError::JournalFull);
+            }
+            let mut inner = self.inner.lock();
+            if self.free_entries_locked(&inner) == 0 {
+                return Err(FsError::JournalFull);
+            }
+            let txid = inner.next_txid;
+            inner.next_txid = inner.next_txid.wrapping_add(1).max(1);
+            let start = inner.tail;
+            inner.txs.push_back(TxRec {
+                txid,
+                start,
+                committed: false,
+            });
+            self.stats
+                .begins
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            Ok(TxHandle { txid })
+        })
+    }
+
+    /// Runs `f` inside a [`Phase::Journal`] span on the device's span
+    /// matrix (one relaxed load when spans are disabled).
+    #[inline]
+    fn span<R>(&self, f: impl FnOnce() -> R) -> R {
+        self.dev
+            .spans()
+            .scope(Phase::Journal, || self.dev.env().now(), f)
     }
 
     fn free_entries_locked(&self, inner: &JInner) -> u64 {
@@ -367,6 +378,10 @@ impl Journal {
         if len == 0 {
             return Ok(());
         }
+        self.span(|| self.log_range_inner(tx, addr, len))
+    }
+
+    fn log_range_inner(&self, tx: &TxHandle, addr: u64, len: usize) -> Result<()> {
         if nvmm::fault::journal_blocked(&self.dev) {
             return Err(FsError::JournalFull);
         }
@@ -432,6 +447,10 @@ impl Journal {
     /// metadata updates durable before calling (PMFS writes metadata with
     /// non-temporal stores, so this holds by construction).
     pub fn commit(&self, tx: TxHandle) {
+        self.span(|| self.commit_inner(tx))
+    }
+
+    fn commit_inner(&self, tx: TxHandle) {
         let mut inner = self.inner.lock();
         self.dev.sfence();
         let gen = inner.gen as u32;
@@ -467,6 +486,10 @@ impl Journal {
     /// undo it again — later transactions may have touched the same
     /// ranges).
     pub fn abort(&self, tx: TxHandle) {
+        self.span(|| self.abort_inner(tx))
+    }
+
+    fn abort_inner(&self, tx: TxHandle) {
         let mut inner = self.inner.lock();
         // Collect this tx's undo entries from the live region.
         let mut to_undo: Vec<(u64, Vec<u8>)> = Vec::new();

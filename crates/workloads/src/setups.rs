@@ -86,6 +86,9 @@ pub struct SystemConfig {
     pub obsv_timing: bool,
     /// Record structured trace events into the ring (off by default).
     pub obsv_trace: bool,
+    /// Attribute device/FS time to per-op phase spans (off by default:
+    /// the disabled span layer costs one relaxed load per hook).
+    pub obsv_spans: bool,
 }
 
 impl Default for SystemConfig {
@@ -100,6 +103,7 @@ impl Default for SystemConfig {
             inode_count: 65536,
             obsv_timing: false,
             obsv_trace: false,
+            obsv_spans: false,
         }
     }
 }
@@ -165,7 +169,9 @@ pub fn build(kind: SystemKind, cfg: &SystemConfig) -> Result<System> {
         SystemKind::Pmfs => {
             let p = Pmfs::mkfs(dev.clone(), popts)?;
             registry.register("", p.journal().stats().clone());
-            (p, None, None)
+            let obs = p.obs().clone();
+            registry.register("", obs.clone());
+            (p, None, Some(obs))
         }
         SystemKind::Ext4Dax => {
             let e = Extfs::mkfs(dev.clone(), ExtMode::Ext4Dax, eopts)?;
@@ -204,6 +210,7 @@ pub fn build(kind: SystemKind, cfg: &SystemConfig) -> Result<System> {
         obs.set_timing(cfg.obsv_timing);
         obs.set_tracing(cfg.obsv_trace);
     }
+    dev.spans().set_enabled(cfg.obsv_spans);
     Ok(System {
         kind,
         fs,
@@ -247,7 +254,9 @@ pub fn remount_with(
         SystemKind::Pmfs => {
             let p = Pmfs::mount(dev.clone())?;
             registry.register("", p.journal().stats().clone());
-            (p, None, None)
+            let obs = p.obs().clone();
+            registry.register("", obs.clone());
+            (p, None, Some(obs))
         }
         SystemKind::Ext4Dax => {
             let e = Extfs::mount(dev.clone(), ExtMode::Ext4Dax, eopts)?;
@@ -286,6 +295,7 @@ pub fn remount_with(
         obs.set_timing(cfg.obsv_timing);
         obs.set_tracing(cfg.obsv_trace);
     }
+    dev.spans().set_enabled(cfg.obsv_spans);
     Ok(System {
         kind,
         fs,

@@ -9,7 +9,7 @@
 //! ```
 
 use fskit::OpenFlags;
-use obsv::{OpKind, RegistrySnapshot, TraceEvent};
+use obsv::{row_label, OpKind, RegistrySnapshot, ALL_PHASES};
 use workloads::fileset::{Fileset, FilesetSpec};
 use workloads::postmark::{Postmark, PostmarkParams};
 use workloads::runner::{Actor, Ctx, RunLimit, Runner};
@@ -47,21 +47,6 @@ impl Actor for FsyncHammer {
     }
 }
 
-fn kind_label(ev: &TraceEvent) -> &'static str {
-    match ev {
-        TraceEvent::ReclaimBegin { .. } => "reclaim.begin",
-        TraceEvent::ReclaimEnd { .. } => "reclaim.end",
-        TraceEvent::WatermarkLow { .. } => "watermark.low",
-        TraceEvent::ForegroundStall { .. } => "foreground.stall",
-        TraceEvent::BbmFlip { .. } => "bbm.flip",
-        TraceEvent::JournalCommit { .. } => "journal.commit",
-        TraceEvent::PeriodicPass { .. } => "writeback.periodic",
-        TraceEvent::RecoveryBegin { .. } => "recovery.begin",
-        TraceEvent::RecoveryEnd { .. } => "recovery.end",
-        TraceEvent::FaultInjected { .. } => "fault.injected",
-    }
-}
-
 fn print_phase(name: &str, d: &RegistrySnapshot) {
     println!("--- phase `{name}` registry delta ---");
     for key in [
@@ -89,6 +74,7 @@ fn main() {
         buffer_bytes: 1 << 20,
         obsv_timing: true,
         obsv_trace: true,
+        obsv_spans: true,
         ..SystemConfig::small()
     };
     let sys = build(SystemKind::Hinfs, &cfg).expect("build hinfs");
@@ -117,7 +103,9 @@ fn main() {
     // A duration limit (rather than a step count) keeps every actor busy
     // up to the same simulated instant, so each event kind keeps firing
     // until the end of the run.
+    let span_base = sys.dev.spans().snapshot();
     let report = runner.run(actors, RunLimit::duration_ms(30), 42);
+    let spans = sys.dev.spans().snapshot().since(&span_base);
     let delta = report.registry.clone().expect("registry attached");
     print_phase("transactions", &delta);
     println!(
@@ -127,23 +115,28 @@ fn main() {
         report.throughput()
     );
 
-    // Per-op latency percentiles out of the log-bucketed histograms.
+    // Per-op latency percentiles out of the log-bucketed histograms. The
+    // p50/p95/p99 columns use the interpolated `quantile()` (the same
+    // numbers `--bench-json` serializes); p90/p999 come from the coarser
+    // `percentiles()` helper.
     println!("--- per-op latency (ns) ---");
     println!(
-        "{:<10} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}",
-        "op", "count", "p50", "p90", "p99", "p999", "max"
+        "{:<10} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "op", "count", "p50", "p90", "p95", "p99", "p999", "mean", "max"
     );
     for op in [OpKind::Read, OpKind::Write, OpKind::Fsync] {
         let h = obs.op_histo(op).snapshot();
-        let (p50, p90, p99, p999) = h.percentiles();
+        let (_, p90, _, p999) = h.percentiles();
         println!(
-            "{:<10} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            "{:<10} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10.0} {:>10}",
             op.label(),
             h.count(),
-            p50,
+            h.quantile(0.50),
             p90,
-            p99,
+            h.quantile(0.95),
+            h.quantile(0.99),
             p999,
+            h.mean(),
             h.max()
         );
     }
@@ -159,6 +152,54 @@ fn main() {
             s.at_ns / 1000
         );
     }
+    println!();
+
+    // Span phase matrix: where each op's virtual time actually went during
+    // the transaction phase. Rows are ops (plus the detached background
+    // row), columns are phases; only non-empty cells print.
+    println!("--- span phase matrix (ns, transaction phase only) ---");
+    for (row, row_ns) in spans.ns.iter().enumerate() {
+        let total = spans.row_total(row);
+        if total == 0 {
+            continue;
+        }
+        print!("  {:<10} {:>12} total |", row_label(row), total);
+        for (p, phase) in ALL_PHASES.iter().enumerate() {
+            if spans.calls[row][p] > 0 {
+                print!(" {}={}", phase.label(), row_ns[p]);
+            }
+        }
+        println!();
+    }
+    println!();
+
+    // Worked Fig-12-style check: the span row totals must reproduce the
+    // runner's own per-op accounting — both measure the same virtual
+    // clock over the same call window, so the ratio is 1.00 by
+    // construction (this is the `fig 112` table in miniature).
+    println!("--- span rows vs runner per-op time ---");
+    println!(
+        "{:<10} {:>14} {:>14} {:>7}",
+        "op", "runner_ns", "span_row_ns", "ratio"
+    );
+    for op in [OpKind::Read, OpKind::Write, OpKind::Fsync] {
+        let runner_ns = report.op_ns(op);
+        if runner_ns == 0 {
+            continue;
+        }
+        let row_ns = spans.row_total(op as usize);
+        println!(
+            "{:<10} {:>14} {:>14} {:>7.2}",
+            op.label(),
+            runner_ns,
+            row_ns,
+            row_ns as f64 / runner_ns as f64
+        );
+    }
+    println!(
+        "background (writeback) row: {} ns of detached device time",
+        spans.row_total(obsv::BG_ROW)
+    );
     println!();
 
     // The retained trace window: per-kind totals, the last few events of
@@ -184,10 +225,7 @@ fn main() {
         "fault.injected",
     ];
     for kind in kinds {
-        let of_kind: Vec<_> = window
-            .iter()
-            .filter(|r| kind_label(&r.ev) == kind)
-            .collect();
+        let of_kind: Vec<_> = window.iter().filter(|r| r.ev.kind() == kind).collect();
         if of_kind.is_empty() {
             continue;
         }

@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Throughput regression gate over two BENCH_*.json documents.
+#
+#   scripts/bench_check.sh BASELINE.json CANDIDATE.json [max_regress_pct]
+#
+# Compares every flat "headline::<workload>::<system>::ops_per_s" key and
+# fails (exit 1) when the candidate is more than max_regress_pct percent
+# (default 10) BELOW the baseline, or when a baseline headline key is
+# missing from the candidate. Improvements never fail. `git_rev` and every
+# non-headline section are ignored, so two runs of the same build compare
+# clean even across commits.
+#
+# Deliberately plain grep/awk: the documents keep one headline key per
+# line exactly so this gate has no JSON-parser dependency.
+set -euo pipefail
+
+if [[ $# -lt 2 || $# -gt 3 ]]; then
+    echo "usage: $0 BASELINE.json CANDIDATE.json [max_regress_pct]" >&2
+    exit 2
+fi
+
+base="$1"
+cand="$2"
+max_pct="${3:-10}"
+
+for f in "$base" "$cand"; do
+    if [[ ! -r "$f" ]]; then
+        echo "bench_check: cannot read $f" >&2
+        exit 2
+    fi
+done
+
+# "  \"headline::fileserver::pmfs::ops_per_s\": 1234.567,"  ->  key value
+extract() {
+    grep -o '"headline::[^"]*::ops_per_s": *[0-9.]*' "$1" |
+        sed 's/"\(headline::[^"]*\)": */\1 /'
+}
+
+base_keys=$(extract "$base")
+if [[ -z "$base_keys" ]]; then
+    echo "bench_check: no headline throughput keys in $base" >&2
+    exit 2
+fi
+
+fail=0
+while read -r key bval; do
+    cval=$(extract "$cand" | awk -v k="$key" '$1 == k { print $2 }')
+    if [[ -z "$cval" ]]; then
+        echo "bench_check: FAIL $key missing from $cand"
+        fail=1
+        continue
+    fi
+    verdict=$(awk -v b="$bval" -v c="$cval" -v m="$max_pct" 'BEGIN {
+        if (b <= 0) { print "ok 0.0"; exit }
+        delta = (c - b) * 100.0 / b
+        if (delta < -m) printf "fail %.1f\n", delta
+        else printf "ok %.1f\n", delta
+    }')
+    status=${verdict%% *}
+    delta=${verdict##* }
+    if [[ "$status" == "fail" ]]; then
+        echo "bench_check: FAIL $key ${bval} -> ${cval} (${delta}%, limit -${max_pct}%)"
+        fail=1
+    else
+        echo "bench_check: ok   $key ${bval} -> ${cval} (${delta}%)"
+    fi
+done <<<"$base_keys"
+
+if [[ "$fail" -ne 0 ]]; then
+    echo "bench_check: throughput regression beyond ${max_pct}%"
+    exit 1
+fi
+echo "bench_check: OK (all headline throughputs within ${max_pct}%)"

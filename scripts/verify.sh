@@ -30,4 +30,23 @@ run cargo test -q $OFFLINE
 # fault injection across hinfs/pmfs/ext4 (fixed seed, capped points;
 # exits non-zero on any oracle violation or panic).
 run cargo run --release $OFFLINE --example crash_recovery
+
+# Machine-readable perf pipeline: regenerate the BENCH document at the
+# quick deterministic scale and gate it against the committed baseline.
+# The virtual clock makes the run reproducible, so any drift here is a
+# real behavior change, not noise.
+bench_tmp=$(mktemp -t BENCH_check.XXXXXX.json)
+trap 'rm -f "$bench_tmp" "$bench_tmp.bad"' EXIT
+run cargo run --release $OFFLINE -p hinfs-bench --bin experiments -- \
+    --quick --fig 101 --fig 112 --bench-json "$bench_tmp"
+run scripts/bench_check.sh BENCH_pr4.json "$bench_tmp"
+# The gate must also FAIL when a regression is injected — otherwise it
+# gates nothing.
+sed 's/\("headline::fileserver::hinfs::ops_per_s": \)\([0-9]*\)/\10/' \
+    "$bench_tmp" >"$bench_tmp.bad"
+if scripts/bench_check.sh BENCH_pr4.json "$bench_tmp.bad" >/dev/null 2>&1; then
+    echo "verify: bench_check failed to flag an injected regression" >&2
+    exit 1
+fi
+echo "verify: bench_check catches injected regressions"
 echo "verify: OK"

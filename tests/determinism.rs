@@ -12,12 +12,18 @@ use workloads::traces::{TraceReplay, USR0};
 use workloads::RunReport;
 
 fn one_run(kind: SystemKind, seed: u64) -> RunReport {
+    one_run_with(kind, seed, false)
+}
+
+fn one_run_with(kind: SystemKind, seed: u64, observed: bool) -> RunReport {
     let cfg = SystemConfig {
         device_bytes: 64 << 20,
         buffer_bytes: 2 << 20,
         cache_pages: 512,
         journal_blocks: 256,
         inode_count: 4096,
+        obsv_timing: observed,
+        obsv_spans: observed,
         ..SystemConfig::default()
     };
     let sys = build(kind, &cfg).unwrap();
@@ -81,6 +87,23 @@ fn repeated_runs_are_bit_identical() {
         let a = one_run(kind, 42);
         let b = one_run(kind, 42);
         assert_identical(&a, &b, kind.label());
+    }
+}
+
+/// The observability layer (per-op timing + span attribution) only reads
+/// the virtual clock — it never advances it — so enabling it must leave
+/// every figure-relevant number bit-identical to an unobserved run.
+#[test]
+fn spans_and_timing_do_not_change_results() {
+    for kind in [
+        SystemKind::Pmfs,
+        SystemKind::Hinfs,
+        SystemKind::Ext4Bd,
+        SystemKind::Ext4Dax,
+    ] {
+        let plain = one_run_with(kind, 42, false);
+        let observed = one_run_with(kind, 42, true);
+        assert_identical(&plain, &observed, kind.label());
     }
 }
 
