@@ -68,6 +68,9 @@ struct Headline {
     report: RunReport,
     obs: Option<Arc<obsv::FsObs>>,
     spans: SpanSnapshot,
+    /// End-of-run state snapshot (FS sections merged with the device
+    /// section), captured just before unmount.
+    snapshot: obsv::FsSnapshot,
 }
 
 /// The headline grid gated by `bench_check.sh`: the paper's central
@@ -83,6 +86,10 @@ const HEADLINES: [(Personality, SystemKind); 4] = [
 /// Builds, populates, remounts (cold caches) and runs one headline cell
 /// with timing + spans on.
 fn run_headline(p: Personality, kind: SystemKind, scale: &Scale) -> Headline {
+    // The analytic time ledger is thread-local and survives across cells;
+    // start each cell from zero so the end-of-run snapshot (and thus the
+    // whole document) only reflects this cell's run.
+    nvmm::ledger::reset();
     let mut cfg = scale.system_config(nvmm::CostModel::default());
     cfg.obsv_timing = true;
     cfg.obsv_spans = true;
@@ -99,6 +106,12 @@ fn run_headline(p: Personality, kind: SystemKind, scale: &Scale) -> Headline {
         .run(actors, RunLimit::duration_ms(scale.duration_ms), 0xBEEF);
     let spans = sys.dev.spans().snapshot().since(&s0);
     let obs = sys.obs.clone();
+    let mut snapshot = sys
+        .introspect
+        .as_ref()
+        .map(|i| i.snapshot())
+        .unwrap_or_default();
+    snapshot.merge(obsv::Introspect::snapshot(&*sys.dev));
     let _ = sys.fs.unmount();
     Headline {
         workload: p.label(),
@@ -106,6 +119,7 @@ fn run_headline(p: Personality, kind: SystemKind, scale: &Scale) -> Headline {
         report,
         obs,
         spans,
+        snapshot,
     }
 }
 
@@ -218,6 +232,26 @@ fn push_spans(out: &mut String, cells: &[Headline]) {
     let _ = writeln!(out, "  }},");
 }
 
+fn push_snapshot(out: &mut String, cells: &[Headline]) {
+    let _ = writeln!(out, "  \"snapshot\": {{");
+    let mut first = true;
+    for h in cells {
+        if !first {
+            let _ = writeln!(out, ",");
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "    \"{}::{}\": {}",
+            h.workload,
+            h.system,
+            h.snapshot.to_json()
+        );
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(out, "  }},");
+}
+
 fn push_figures(out: &mut String, tables: &[Table]) {
     let _ = writeln!(out, "  \"figures\": {{");
     let mut first = true;
@@ -290,6 +324,7 @@ fn render(
     push_headline_keys(&mut out, cells);
     push_op_latency(&mut out, cells);
     push_spans(&mut out, cells);
+    push_snapshot(&mut out, cells);
     push_figures(&mut out, tables);
     let _ = writeln!(out, "}}");
     out
@@ -329,6 +364,8 @@ mod tests {
             "\"headline::fileserver::hinfs::ops_per_s\"",
             "\"op_latency\"",
             "\"spans\"",
+            "\"snapshot\"",
+            "\"schema\":1",
             "\"fig99\"",
             "\\\"quoted\\\"",
             "x\\ny",

@@ -88,6 +88,23 @@ impl BufferCache {
         (inner.hits, inner.misses)
     }
 
+    /// Pages currently holding a cached block.
+    pub fn cached_pages(&self) -> usize {
+        self.capacity - self.inner.lock().free.len()
+    }
+
+    /// `(cached_pages, dirty_pages, hits, misses)` read under one lock hold,
+    /// so the four values are mutually consistent for snapshots and audits.
+    pub fn usage(&self) -> (usize, usize, u64, u64) {
+        let inner = self.inner.lock();
+        (
+            self.capacity - inner.free.len(),
+            inner.dirty_count,
+            inner.hits,
+            inner.misses,
+        )
+    }
+
     /// Number of dirty pages.
     pub fn dirty_pages(&self) -> usize {
         self.inner.lock().dirty_count

@@ -893,12 +893,41 @@ impl FileSystem for Extfs {
     }
 }
 
+impl obsv::Introspect for Extfs {
+    fn snapshot(&self) -> obsv::FsSnapshot {
+        let (cached, dirty, hits, misses) = self.cache.usage();
+        obsv::FsSnapshot {
+            system: fskit::FileSystem::name(self).into(),
+            at_ns: self.env.now(),
+            cache: Some(obsv::CacheSnap {
+                capacity_pages: self.cache.capacity() as u64,
+                cached_pages: cached as u64,
+                dirty_pages: dirty as u64,
+                hits,
+                misses,
+            }),
+            ..obsv::FsSnapshot::default()
+        }
+    }
+
+    fn audit(&self) -> obsv::AuditReport {
+        let mut rep = obsv::AuditReport::new(self.env.now());
+        let (cached, dirty, _, _) = self.cache.usage();
+        // cache.accounting: dirty pages are a subset of cached pages, which
+        // never exceed the page-cache capacity.
+        rep.check_le(12, 0, 0, dirty as u64, cached as u64);
+        rep.check_le(12, 0, 0, cached as u64, self.cache.capacity() as u64);
+        rep
+    }
+}
+
 impl obsv::MetricSource for Extfs {
     fn collect(&self, out: &mut dyn obsv::Visitor) {
         obsv::MetricSource::collect(&*self.obs, out);
         out.counter("extfs_jbd_commits", self.jbd.commits());
         out.gauge("extfs_jbd_running", self.jbd.running_len() as u64);
         out.gauge("extfs_free_blocks", self.free_blocks());
+        obsv::Introspect::snapshot(self).visit_gauges("extfs_", out);
     }
 }
 

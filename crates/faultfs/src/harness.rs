@@ -27,7 +27,7 @@ use extfs::{ExtMode, ExtOptions, Extfs};
 use fskit::{FileSystem, FsError, OpenFlags};
 use hinfs::{Hinfs, HinfsConfig};
 use nvmm::{BoundaryRec, CostModel, CrashSignal, FaultPlan, InjectedFault, NvmmDevice, SimEnv};
-use obsv::{TraceEvent, TraceRing};
+use obsv::{AuditReport, Introspect, TraceEvent, TraceRing};
 use pmfs::{Pmfs, PmfsOptions};
 
 use crate::oracle::Oracle;
@@ -196,29 +196,46 @@ impl Harness {
         Built { fs, dev, env }
     }
 
-    /// Remounts `dev` after a crash, returning the file system and the
-    /// `(txs_undone, entries_undone)` recovery counts.
+    /// Remounts `dev` after a crash, returning the file system, the
+    /// `(txs_undone, entries_undone)` recovery counts, and the invariant
+    /// auditor's report over the freshly recovered state — a crash must
+    /// never leave the remounted system with inconsistent volatile
+    /// structures, journal accounting, or device counters.
     fn remount(
         &self,
         kind: FsKind,
         dev: Arc<NvmmDevice>,
-    ) -> Result<(Arc<dyn FileSystem>, u64, u64), FsError> {
+    ) -> Result<(Arc<dyn FileSystem>, u64, u64, AuditReport), FsError> {
         match kind {
             FsKind::Hinfs => {
                 let fs = Hinfs::mount(dev, hinfs_cfg())?;
                 let r = fs.pmfs().recovery_stats();
-                Ok((fs, r.txs_undone, r.entries_undone))
+                let rep = Introspect::audit(fs.as_ref());
+                Ok((fs, r.txs_undone, r.entries_undone, rep))
             }
             FsKind::Pmfs => {
                 let fs = Pmfs::mount(dev)?;
                 let r = fs.recovery_stats();
-                Ok((fs, r.txs_undone, r.entries_undone))
+                let rep = Introspect::audit(fs.as_ref());
+                Ok((fs, r.txs_undone, r.entries_undone, rep))
             }
             FsKind::Ext4 => {
                 let fs = Extfs::mount(dev, ExtMode::Ext4, ext_opts())?;
                 let replayed = fs.recovery_replayed();
-                Ok((fs, 0, replayed))
+                let rep = Introspect::audit(fs.as_ref());
+                Ok((fs, 0, replayed, rep))
             }
+        }
+    }
+
+    /// Folds a post-recovery audit report into a run outcome: checks are
+    /// counted, violations are surfaced (with their invariant label) and
+    /// pushed onto the trace ring.
+    fn absorb_audit(&self, out: &mut RunOutcome, rep: AuditReport, at_ns: u64) {
+        out.checks += rep.checks;
+        for v in &rep.violations {
+            self.trace.emit(at_ns, || v.event());
+            out.violations.push(format!("post-recovery audit: {v}"));
         }
     }
 
@@ -300,13 +317,14 @@ impl Harness {
                 out.violations
                     .push(format!("remount after crash at boundary {k} failed: {e:?}"));
             }
-            Ok((fs2, txs, entries)) => {
+            Ok((fs2, txs, entries, audit)) => {
                 out.txs_undone = txs;
                 out.entries_undone = entries;
                 self.trace.emit(b.env.now(), || TraceEvent::RecoveryEnd {
                     txs_undone: txs,
                     entries_undone: entries,
                 });
+                self.absorb_audit(&mut out, audit, b.env.now());
                 let rep = oracle.check(&*fs2);
                 out.checks = rep.checks;
                 out.violations.extend(rep.violations);
@@ -394,13 +412,14 @@ impl Harness {
                 Err(e) => out
                     .violations
                     .push(format!("remount after {} run failed: {e:?}", fault.label())),
-                Ok((fs2, txs, entries)) => {
+                Ok((fs2, txs, entries, audit)) => {
                     out.txs_undone = txs;
                     out.entries_undone = entries;
                     self.trace.emit(b.env.now(), || TraceEvent::RecoveryEnd {
                         txs_undone: txs,
                         entries_undone: entries,
                     });
+                    self.absorb_audit(&mut out, audit, b.env.now());
                     let rep = oracle.check(&*fs2);
                     out.checks = rep.checks;
                     out.violations.extend(rep.violations);

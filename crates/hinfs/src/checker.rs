@@ -95,6 +95,10 @@ pub struct EvalCtx<'a> {
 /// (Fig 6), and resets the per-epoch counters. Returns `true` if the block
 /// is now Lazy-Persistent.
 pub fn evaluate_at_sync(ctx: &EvalCtx<'_>, file: &mut FileBuf, iblk: u64, n_cf: u64) -> bool {
+    // Age of the epoch being closed (time since the previous sync) — the
+    // same quantity the decay rule compares against `eager_decay_ns`.
+    // Captured before the bitmap entry borrow.
+    let sync_age_ns = ctx.now.saturating_sub(file.last_sync_ns);
     let st = file.bbm.entry(iblk).or_default();
     if st.n_cw == 0 && n_cf == 0 {
         // Nothing happened to this block this epoch; keep its state.
@@ -121,6 +125,9 @@ pub fn evaluate_at_sync(ctx: &EvalCtx<'_>, file: &mut FileBuf, iblk: u64, n_cf: 
             to_lazy: lazy,
             n_cw,
             n_cf,
+            l_dram: ctx.cost.dram_write_latency_ns,
+            l_nvmm: ctx.cost.nvmm_write_latency_ns,
+            sync_age_ns,
         });
     }
     st.prev_lazy = Some(lazy);
@@ -234,9 +241,18 @@ mod tests {
             .into_iter()
             .map(|r| match r.ev {
                 TraceEvent::BbmFlip {
-                    ino, iblk, to_lazy, ..
+                    ino,
+                    iblk,
+                    to_lazy,
+                    l_dram,
+                    l_nvmm,
+                    ..
                 } => {
                     assert_eq!((ino, iblk), (9, 0));
+                    // Decisions are replayable: the model's latency inputs
+                    // ride along with each flip.
+                    assert_eq!(l_dram, cost.dram_write_latency_ns);
+                    assert_eq!(l_nvmm, cost.nvmm_write_latency_ns);
                     to_lazy
                 }
                 other => panic!("unexpected event {other:?}"),

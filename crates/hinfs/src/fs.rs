@@ -634,6 +634,7 @@ impl Hinfs {
         }
         drop(sh);
         self.dev().sfence();
+        self.maybe_audit();
         Ok(())
     }
 
@@ -904,10 +905,9 @@ impl obsv::MetricSource for Hinfs {
     fn collect(&self, out: &mut dyn obsv::Visitor) {
         obsv::MetricSource::collect(&self.stats, out);
         obsv::MetricSource::collect(&*self.obs, out);
-        let (cap, free, dirty) = self.shared.lock().gauges();
-        out.gauge("hinfs_buffer_capacity_blocks", cap as u64);
-        out.gauge("hinfs_buffer_free_blocks", free as u64);
-        out.gauge("hinfs_buffer_dirty_blocks", dirty as u64);
+        // The gauges and the snapshot are the same collection, so the
+        // exposition can never disagree with `fs_inspect` output.
+        obsv::Introspect::snapshot(self).visit_gauges("hinfs_", out);
     }
 }
 

@@ -25,6 +25,7 @@ pub mod buffer;
 pub mod checker;
 pub mod fs;
 pub mod index;
+pub mod introspect;
 pub mod lrw;
 pub mod stats;
 pub mod tracker;
@@ -65,6 +66,11 @@ pub struct HinfsConfig {
     /// "multiple independent kernel threads"; virtual mode uses one
     /// deterministic writeback actor regardless).
     pub wb_threads: usize,
+    /// Online invariant auditor: when set, every fsync and every periodic
+    /// writeback pass runs [`obsv::Introspect::audit`] and records
+    /// violations on the trace ring and the `obsv_audit_violations`
+    /// counter. Off by default (the audit walks the whole buffer pool).
+    pub audit: bool,
 }
 
 impl Default for HinfsConfig {
@@ -80,6 +86,7 @@ impl Default for HinfsConfig {
             checker: true,
             sync_mount: false,
             wb_threads: 2,
+            audit: false,
         }
     }
 }
@@ -101,6 +108,12 @@ impl HinfsConfig {
     /// Sets the buffer size.
     pub fn with_buffer_bytes(mut self, bytes: usize) -> Self {
         self.buffer_bytes = bytes;
+        self
+    }
+
+    /// Enables the online invariant auditor.
+    pub fn with_audit(mut self) -> Self {
+        self.audit = true;
         self
     }
 

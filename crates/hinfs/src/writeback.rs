@@ -354,6 +354,9 @@ impl Hinfs {
                 .trace
                 .emit(now, || obsv::TraceEvent::PeriodicPass { age_flushed });
         }
+        // Periodic online audit: each background pass re-verifies the
+        // index/bitmap/LRW invariants when the mount has auditing on.
+        self.maybe_audit();
     }
 
     /// Virtual-mode hook: runs due background work on the writeback actor's

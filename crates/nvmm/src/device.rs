@@ -388,6 +388,40 @@ impl NvmmDevice {
     }
 }
 
+impl obsv::Introspect for NvmmDevice {
+    fn snapshot(&self) -> obsv::FsSnapshot {
+        let s = self.stats.snapshot();
+        let led = crate::ledger::snapshot();
+        obsv::FsSnapshot {
+            system: "nvmm".into(),
+            at_ns: self.env.now(),
+            device: Some(obsv::DeviceSnap {
+                capacity_bytes: self.len as u64,
+                bytes_written: s.nvmm_bytes_written,
+                bytes_read: s.nvmm_bytes_read,
+                flush_lines: s.flush_lines,
+                fences: s.fences,
+                cached_store_bytes: s.cached_store_bytes,
+                ledger_ns: crate::ledger::ALL_CATS
+                    .iter()
+                    .map(|&c| (c.label().to_string(), led.get(c)))
+                    .collect(),
+                ledger_total_ns: led.total(),
+            }),
+            ..obsv::FsSnapshot::default()
+        }
+    }
+
+    fn audit(&self) -> obsv::AuditReport {
+        let mut rep = obsv::AuditReport::new(self.env.now());
+        let s = self.stats.snapshot();
+        // device.accounting: the media only accepts whole cachelines, so the
+        // persisted-byte counter must stay line-aligned.
+        rep.check_eq(13, 0, 0, s.nvmm_bytes_written % CACHELINE as u64, 0);
+        rep
+    }
+}
+
 impl obsv::MetricSource for NvmmDevice {
     fn collect(&self, out: &mut dyn obsv::Visitor) {
         obsv::MetricSource::collect(&self.stats, out);

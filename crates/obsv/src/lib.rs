@@ -18,15 +18,21 @@
 
 mod histo;
 mod registry;
+mod snapshot;
 mod span;
 mod trace;
 
 pub use histo::{bucket_of, bucket_upper, Histo, HistoSnapshot, N_BUCKETS, SUB_BUCKETS};
 pub use registry::{Counter, MetricSource, MetricsRegistry, RegistrySnapshot, Visitor};
+pub use snapshot::{
+    dirty_line_bucket, invariant_label, lrw_age_bucket, AuditReport, AuditViolation, BufferSnap,
+    CacheSnap, DeviceSnap, FsSnapshot, Introspect, JournalSnap, AUDIT_INVARIANTS,
+    DIRTY_LINE_BUCKETS, LRW_AGE_BOUNDS_NS, LRW_AGE_BUCKETS, SNAPSHOT_SCHEMA_VERSION,
+};
 pub use span::{row_label, Phase, SpanSnapshot, SpanTable, ALL_PHASES, BG_ROW, NPHASES, SPAN_ROWS};
 pub use trace::{TraceEvent, TraceRecord, TraceRing};
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// Syscall categories tracked per file system (the Fig 12 breakdown uses
@@ -112,6 +118,10 @@ pub struct FsObs {
     /// The per-device span matrix, installed at mount so this bundle's
     /// exposition includes the OpKind × Phase breakdown.
     spans: OnceLock<Arc<SpanTable>>,
+    /// Invariant relations checked by the online auditor.
+    audit_checks: AtomicU64,
+    /// Invariants found broken. Non-zero means structural corruption.
+    audit_violations: AtomicU64,
 }
 
 impl Default for FsObs {
@@ -129,7 +139,33 @@ impl FsObs {
             slow: Mutex::new(Vec::with_capacity(SLOW_CAP)),
             trace: Arc::new(TraceRing::new(trace_capacity)),
             spans: OnceLock::new(),
+            audit_checks: AtomicU64::new(0),
+            audit_violations: AtomicU64::new(0),
         }
+    }
+
+    /// Folds an auditor pass into this bundle: counts the checks, counts
+    /// and traces every violation. Violations bypass the tracing switch —
+    /// a broken invariant must never go unrecorded just because the ring
+    /// is off.
+    pub fn record_audit(&self, report: &AuditReport) {
+        self.audit_checks
+            .fetch_add(report.checks, Ordering::Relaxed);
+        self.audit_violations
+            .fetch_add(report.violations.len() as u64, Ordering::Relaxed);
+        for v in &report.violations {
+            self.trace.push(report.at_ns, v.event());
+        }
+    }
+
+    /// Total invariant relations checked by recorded audit passes.
+    pub fn audit_checks(&self) -> u64 {
+        self.audit_checks.load(Ordering::Relaxed)
+    }
+
+    /// Total invariant violations recorded.
+    pub fn audit_violations(&self) -> u64 {
+        self.audit_violations.load(Ordering::Relaxed)
     }
 
     /// Installs the span matrix this file system charges into (the
@@ -191,11 +227,13 @@ impl MetricSource for FsObs {
         for op in ALL_OPS {
             let snap = self.ops[op as usize].snapshot();
             if snap.count() > 0 {
-                out.histo(&format!("op_{}_ns", op.label()), snap);
+                out.histo(&format!("obsv_op_{}_ns", op.label()), snap);
             }
         }
-        out.counter("trace_events", self.trace.emitted());
-        out.counter("trace_dropped", self.trace.dropped());
+        out.counter("obsv_trace_events", self.trace.emitted());
+        out.counter("obsv_trace_dropped", self.trace.dropped());
+        out.counter("obsv_audit_checks", self.audit_checks());
+        out.counter("obsv_audit_violations", self.audit_violations());
         if let Some(spans) = self.spans.get() {
             spans.collect(out);
         }
@@ -347,8 +385,33 @@ mod tests {
         let reg = MetricsRegistry::new();
         reg.register("", Arc::new(obs));
         let snap = reg.snapshot();
-        assert_eq!(snap.histo("op_read_ns").unwrap().count(), 2);
-        assert!(snap.histo("op_write_ns").is_none(), "empty ops are omitted");
+        assert_eq!(snap.histo("obsv_op_read_ns").unwrap().count(), 2);
+        assert!(
+            snap.histo("obsv_op_write_ns").is_none(),
+            "empty ops are omitted"
+        );
+    }
+
+    #[test]
+    fn record_audit_counts_and_traces_violations() {
+        let obs = FsObs::new(8);
+        let mut rep = AuditReport::new(77);
+        rep.check_eq(2, 0, 0, 5, 5);
+        rep.check_eq(4, 1, 3, 0b11, 0b01);
+        obs.record_audit(&rep);
+        assert_eq!(obs.audit_checks(), 2);
+        assert_eq!(obs.audit_violations(), 1);
+        // The violation reached the ring even though tracing is off.
+        let tail = obs.trace.tail(8);
+        assert_eq!(tail.len(), 1);
+        assert_eq!(tail[0].at_ns, 77);
+        assert_eq!(tail[0].ev.kind(), "audit.violation");
+        // And the counters surface under the obsv_ prefix.
+        let reg = MetricsRegistry::new();
+        reg.register("", Arc::new(obs));
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("obsv_audit_checks"), 2);
+        assert_eq!(snap.counter("obsv_audit_violations"), 1);
     }
 
     #[test]

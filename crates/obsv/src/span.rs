@@ -433,7 +433,7 @@ impl MetricSource for SpanTable {
                 if snap.calls[r][p] == 0 {
                     continue;
                 }
-                let base = format!("span_{}_{}", row_label(r), phase.label());
+                let base = format!("obsv_span_{}_{}", row_label(r), phase.label());
                 out.counter(&format!("{base}_ns"), snap.ns[r][p]);
                 out.counter(&format!("{base}_calls"), snap.calls[r][p]);
             }
@@ -632,9 +632,9 @@ mod tests {
         let reg = MetricsRegistry::new();
         reg.register("", t.clone());
         let snap = reg.snapshot();
-        assert_eq!(snap.counter("span_fsync_fence_ns"), 48);
-        assert_eq!(snap.counter("span_fsync_fence_calls"), 1);
-        assert_eq!(snap.counter("span_fsync_other_calls"), 1);
+        assert_eq!(snap.counter("obsv_span_fsync_fence_ns"), 48);
+        assert_eq!(snap.counter("obsv_span_fsync_fence_calls"), 1);
+        assert_eq!(snap.counter("obsv_span_fsync_other_calls"), 1);
         // Untouched cells stay out of the exposition entirely.
         assert!(!snap.to_prometheus().contains("span_write_persist_ns"));
     }

@@ -14,10 +14,11 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// Number of payload words per event.
-const PAYLOAD: usize = 4;
+const PAYLOAD: usize = 7;
 
-/// One structured event. Every variant is `Copy` and encodes into four
-/// `u64` payload words, which is what lets the ring stay lock-free.
+/// One structured event. Every variant is `Copy` and encodes into a fixed
+/// number of `u64` payload words, which is what lets the ring stay
+/// lock-free.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TraceEvent {
     /// A reclaim pass started: `free` blocks left, aiming for `target`.
@@ -28,14 +29,22 @@ pub enum TraceEvent {
     WatermarkLow { free: u64, low: u64 },
     /// A foreground write had to reclaim a block itself.
     ForegroundStall { ino: u64 },
-    /// The Buffer Benefit Model changed a block's state, with the
-    /// Inequality-1 inputs that drove the decision.
+    /// The Buffer Benefit Model changed a block's state, with every
+    /// Inequality-1 input that drove the decision: the epoch's cacheline
+    /// writes (`n_cw`) and sync flushes (`n_cf`), the latencies the model
+    /// compared (`l_dram`, `l_nvmm`), and the age of the epoch itself
+    /// (`sync_age_ns`, time since the file's previous synchronization —
+    /// the clock the Eager→Lazy decay runs on). Each decision is
+    /// replayable from this one record.
     BbmFlip {
         ino: u64,
         iblk: u64,
         to_lazy: bool,
         n_cw: u64,
         n_cf: u64,
+        l_dram: u64,
+        l_nvmm: u64,
+        sync_age_ns: u64,
     },
     /// A journal transaction committed; `log_entries` is the live entry
     /// count (log tail) at commit time.
@@ -56,6 +65,17 @@ pub enum TraceEvent {
     /// journal-full, 2 = ENOSPC, 3 = writeback stall; `at_boundary` is the
     /// persistence-boundary count when it fired.
     FaultInjected { kind: u64, at_boundary: u64 },
+    /// The online invariant auditor found a broken invariant. `code`
+    /// indexes [`crate::AUDIT_INVARIANTS`]; `ino`/`iblk` locate the
+    /// offender when the invariant is per-block (0 otherwise); `got` and
+    /// `want` are the two sides of the violated relation.
+    AuditViolation {
+        code: u64,
+        ino: u64,
+        iblk: u64,
+        got: u64,
+        want: u64,
+    },
 }
 
 impl TraceEvent {
@@ -63,25 +83,42 @@ impl TraceEvent {
     /// carries `BbmFlip::to_lazy`.
     fn encode(self) -> (u64, [u64; PAYLOAD]) {
         match self {
-            TraceEvent::ReclaimBegin { free, target } => (0, [free, target, 0, 0]),
-            TraceEvent::ReclaimEnd { victims, free } => (1, [victims, free, 0, 0]),
-            TraceEvent::WatermarkLow { free, low } => (2, [free, low, 0, 0]),
-            TraceEvent::ForegroundStall { ino } => (3, [ino, 0, 0, 0]),
+            TraceEvent::ReclaimBegin { free, target } => (0, [free, target, 0, 0, 0, 0, 0]),
+            TraceEvent::ReclaimEnd { victims, free } => (1, [victims, free, 0, 0, 0, 0, 0]),
+            TraceEvent::WatermarkLow { free, low } => (2, [free, low, 0, 0, 0, 0, 0]),
+            TraceEvent::ForegroundStall { ino } => (3, [ino, 0, 0, 0, 0, 0, 0]),
             TraceEvent::BbmFlip {
                 ino,
                 iblk,
                 to_lazy,
                 n_cw,
                 n_cf,
-            } => (4 | (u64::from(to_lazy) << 8), [ino, iblk, n_cw, n_cf]),
-            TraceEvent::JournalCommit { txid, log_entries } => (5, [txid, log_entries, 0, 0]),
-            TraceEvent::PeriodicPass { age_flushed } => (6, [age_flushed, 0, 0, 0]),
-            TraceEvent::RecoveryBegin { gen } => (7, [gen, 0, 0, 0]),
+                l_dram,
+                l_nvmm,
+                sync_age_ns,
+            } => (
+                4 | (u64::from(to_lazy) << 8),
+                [ino, iblk, n_cw, n_cf, l_dram, l_nvmm, sync_age_ns],
+            ),
+            TraceEvent::JournalCommit { txid, log_entries } => {
+                (5, [txid, log_entries, 0, 0, 0, 0, 0])
+            }
+            TraceEvent::PeriodicPass { age_flushed } => (6, [age_flushed, 0, 0, 0, 0, 0, 0]),
+            TraceEvent::RecoveryBegin { gen } => (7, [gen, 0, 0, 0, 0, 0, 0]),
             TraceEvent::RecoveryEnd {
                 txs_undone,
                 entries_undone,
-            } => (8, [txs_undone, entries_undone, 0, 0]),
-            TraceEvent::FaultInjected { kind, at_boundary } => (9, [kind, at_boundary, 0, 0]),
+            } => (8, [txs_undone, entries_undone, 0, 0, 0, 0, 0]),
+            TraceEvent::FaultInjected { kind, at_boundary } => {
+                (9, [kind, at_boundary, 0, 0, 0, 0, 0])
+            }
+            TraceEvent::AuditViolation {
+                code,
+                ino,
+                iblk,
+                got,
+                want,
+            } => (10, [code, ino, iblk, got, want, 0, 0]),
         }
     }
 
@@ -106,6 +143,9 @@ impl TraceEvent {
                 to_lazy: tag & (1 << 8) != 0,
                 n_cw: p[2],
                 n_cf: p[3],
+                l_dram: p[4],
+                l_nvmm: p[5],
+                sync_age_ns: p[6],
             },
             5 => TraceEvent::JournalCommit {
                 txid: p[0],
@@ -120,6 +160,13 @@ impl TraceEvent {
             9 => TraceEvent::FaultInjected {
                 kind: p[0],
                 at_boundary: p[1],
+            },
+            10 => TraceEvent::AuditViolation {
+                code: p[0],
+                ino: p[1],
+                iblk: p[2],
+                got: p[3],
+                want: p[4],
             },
             _ => return None,
         })
@@ -141,6 +188,7 @@ impl TraceEvent {
             TraceEvent::RecoveryBegin { .. } => "recovery.begin",
             TraceEvent::RecoveryEnd { .. } => "recovery.end",
             TraceEvent::FaultInjected { .. } => "fault.injected",
+            TraceEvent::AuditViolation { .. } => "audit.violation",
         }
     }
 
@@ -158,12 +206,18 @@ impl TraceEvent {
                 to_lazy,
                 n_cw,
                 n_cf,
+                l_dram,
+                l_nvmm,
+                sync_age_ns,
             } => vec![
                 ("ino", ino),
                 ("iblk", iblk),
                 ("to_lazy", u64::from(to_lazy)),
                 ("n_cw", n_cw),
                 ("n_cf", n_cf),
+                ("l_dram", l_dram),
+                ("l_nvmm", l_nvmm),
+                ("sync_age_ns", sync_age_ns),
             ],
             TraceEvent::JournalCommit { txid, log_entries } => {
                 vec![("txid", txid), ("log_entries", log_entries)]
@@ -180,6 +234,19 @@ impl TraceEvent {
             TraceEvent::FaultInjected { kind, at_boundary } => {
                 vec![("kind", kind), ("at_boundary", at_boundary)]
             }
+            TraceEvent::AuditViolation {
+                code,
+                ino,
+                iblk,
+                got,
+                want,
+            } => vec![
+                ("code", code),
+                ("ino", ino),
+                ("iblk", iblk),
+                ("got", got),
+                ("want", want),
+            ],
         }
     }
 
@@ -206,6 +273,9 @@ impl TraceEvent {
                 to_lazy: get("to_lazy")? != 0,
                 n_cw: get("n_cw")?,
                 n_cf: get("n_cf")?,
+                l_dram: get("l_dram")?,
+                l_nvmm: get("l_nvmm")?,
+                sync_age_ns: get("sync_age_ns")?,
             },
             "journal.commit" => TraceEvent::JournalCommit {
                 txid: get("txid")?,
@@ -222,6 +292,13 @@ impl TraceEvent {
             "fault.injected" => TraceEvent::FaultInjected {
                 kind: get("kind")?,
                 at_boundary: get("at_boundary")?,
+            },
+            "audit.violation" => TraceEvent::AuditViolation {
+                code: get("code")?,
+                ino: get("ino")?,
+                iblk: get("iblk")?,
+                got: get("got")?,
+                want: get("want")?,
             },
             _ => return None,
         })
@@ -247,9 +324,13 @@ impl std::fmt::Display for TraceEvent {
                 to_lazy,
                 n_cw,
                 n_cf,
+                l_dram,
+                l_nvmm,
+                sync_age_ns,
             } => write!(
                 f,
-                "bbm.flip ino={ino} iblk={iblk} to={} n_cw={n_cw} n_cf={n_cf}",
+                "bbm.flip ino={ino} iblk={iblk} to={} n_cw={n_cw} n_cf={n_cf} \
+                 l_dram={l_dram} l_nvmm={l_nvmm} sync_age_ns={sync_age_ns}",
                 if to_lazy { "lazy" } else { "eager" }
             ),
             TraceEvent::JournalCommit { txid, log_entries } => {
@@ -276,6 +357,17 @@ impl std::fmt::Display for TraceEvent {
                 };
                 write!(f, "fault.injected kind={label} at_boundary={at_boundary}")
             }
+            TraceEvent::AuditViolation {
+                code,
+                ino,
+                iblk,
+                got,
+                want,
+            } => write!(
+                f,
+                "audit.violation invariant={} ino={ino} iblk={iblk} got={got} want={want}",
+                crate::snapshot::invariant_label(code)
+            ),
         }
     }
 }
@@ -519,6 +611,9 @@ mod tests {
                 to_lazy: true,
                 n_cw: 120,
                 n_cf: 8,
+                l_dram: 40,
+                l_nvmm: 200,
+                sync_age_ns: 1_500_000,
             },
             TraceEvent::BbmFlip {
                 ino: 7,
@@ -526,6 +621,9 @@ mod tests {
                 to_lazy: false,
                 n_cw: 8,
                 n_cf: 8,
+                l_dram: 40,
+                l_nvmm: 200,
+                sync_age_ns: 9_000_000_000,
             },
             TraceEvent::JournalCommit {
                 txid: 77,
@@ -540,6 +638,13 @@ mod tests {
             TraceEvent::FaultInjected {
                 kind: 2,
                 at_boundary: 17,
+            },
+            TraceEvent::AuditViolation {
+                code: 2,
+                ino: 0,
+                iblk: 0,
+                got: 63,
+                want: 64,
             },
         ]
     }

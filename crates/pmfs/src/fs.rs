@@ -812,5 +812,58 @@ impl FileSystem for Pmfs {
     }
 }
 
+impl obsv::Introspect for Pmfs {
+    fn snapshot(&self) -> obsv::FsSnapshot {
+        let u = self.journal.usage();
+        obsv::FsSnapshot {
+            system: "pmfs".into(),
+            at_ns: self.env.now(),
+            journal: Some(obsv::JournalSnap {
+                capacity_entries: u.capacity_entries,
+                fill_entries: u.fill_entries,
+                reserved_entries: u.reserved_entries,
+                free_entries: u.free_entries,
+                open_txs: u.open_txs,
+                generation: u.generation,
+            }),
+            ..obsv::FsSnapshot::default()
+        }
+    }
+
+    fn audit(&self) -> obsv::AuditReport {
+        let mut rep = obsv::AuditReport::new(self.env.now());
+        let u = self.journal.usage();
+        // journal.reserved: every open transaction reserves one commit slot.
+        rep.check_eq(9, 0, 0, u.reserved_entries, u.open_txs);
+        // journal.capacity: logged plus reserved entries fit the region.
+        rep.check_le(
+            10,
+            0,
+            0,
+            u.fill_entries + u.reserved_entries,
+            u.capacity_entries,
+        );
+        // journal.stats: the activity counters agree with the live count.
+        // (Counters and usage are read under different locks, so this can
+        // only be relied on when no transaction is concurrently in flight —
+        // which holds everywhere the auditor runs.)
+        let s = self.journal.stats().snapshot();
+        rep.check_eq(
+            11,
+            0,
+            0,
+            s.begins.saturating_sub(s.commits + s.aborts),
+            u.open_txs,
+        );
+        rep
+    }
+}
+
+impl obsv::MetricSource for Pmfs {
+    fn collect(&self, out: &mut dyn obsv::Visitor) {
+        obsv::Introspect::snapshot(self).visit_gauges("pmfs_", out);
+    }
+}
+
 #[cfg(test)]
 mod tests;

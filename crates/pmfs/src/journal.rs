@@ -162,6 +162,27 @@ struct JInner {
     txs: VecDeque<TxRec>,
 }
 
+/// One coherent reading of the journal region's occupancy (all fields
+/// taken under a single lock hold; see [`Journal::usage`]). Every open
+/// transaction reserves one commit-entry slot, so `reserved_entries`
+/// equals `open_txs` by construction — the auditor checks the relation
+/// anyway to catch accounting drift.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct JournalUsage {
+    /// Total undo-entry slots in the region.
+    pub capacity_entries: u64,
+    /// Entries logged in the current generation (the log tail).
+    pub fill_entries: u64,
+    /// Commit slots reserved by uncommitted transactions.
+    pub reserved_entries: u64,
+    /// Entries available to `begin`/`log_range`.
+    pub free_entries: u64,
+    /// Transactions begun and not yet committed or aborted.
+    pub open_txs: u64,
+    /// Current generation counter.
+    pub generation: u64,
+}
+
 /// Statistics returned by [`Journal::recover`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct RecoveryStats {
@@ -356,6 +377,21 @@ impl Journal {
     /// The current journal generation (diagnostics).
     pub fn generation(&self) -> u64 {
         self.inner.lock().gen
+    }
+
+    /// Point-in-time usage of the journal region, read under one lock hold
+    /// so the fields are mutually consistent (introspection/audit).
+    pub fn usage(&self) -> JournalUsage {
+        let inner = self.inner.lock();
+        let reserved = inner.txs.iter().filter(|t| !t.committed).count() as u64;
+        JournalUsage {
+            capacity_entries: self.capacity,
+            fill_entries: inner.tail,
+            reserved_entries: reserved,
+            free_entries: self.capacity.saturating_sub(inner.tail + reserved),
+            open_txs: reserved,
+            generation: inner.gen,
+        }
     }
 
     fn append_locked(&self, inner: &mut JInner, e: &Entry) -> Result<()> {

@@ -35,5 +35,5 @@ pub mod mmap;
 pub mod tree;
 
 pub use fs::{Pmfs, PmfsOptions};
-pub use journal::{Journal, TxHandle};
+pub use journal::{Journal, JournalUsage, TxHandle};
 pub use layout::Layout;

@@ -89,6 +89,9 @@ pub struct SystemConfig {
     /// Attribute device/FS time to per-op phase spans (off by default:
     /// the disabled span layer costs one relaxed load per hook).
     pub obsv_spans: bool,
+    /// Run the online invariant auditor at every fsync and writeback pass
+    /// (HiNFS only; off by default — it walks the whole buffer pool).
+    pub obsv_audit: bool,
 }
 
 impl Default for SystemConfig {
@@ -104,6 +107,7 @@ impl Default for SystemConfig {
             obsv_timing: false,
             obsv_trace: false,
             obsv_spans: false,
+            obsv_audit: false,
         }
     }
 }
@@ -143,11 +147,20 @@ pub struct System {
     /// trace ring) when the mounted system has one (HiNFS and the ext
     /// family; PMFS only exposes journal counters).
     pub obs: Option<Arc<FsObs>>,
+    /// State-introspection handle (snapshots + invariant audit) for the
+    /// mounted system; all current kinds provide one.
+    pub introspect: Option<Arc<dyn obsv::Introspect>>,
 }
 
 /// What a mount produces: the trait object, the concrete HiNFS handle
-/// when applicable, and the observability bundle when one exists.
-type Mounted = (Arc<dyn FileSystem>, Option<Arc<Hinfs>>, Option<Arc<FsObs>>);
+/// when applicable, the observability bundle when one exists, and the
+/// introspection handle.
+type Mounted = (
+    Arc<dyn FileSystem>,
+    Option<Arc<Hinfs>>,
+    Option<Arc<FsObs>>,
+    Option<Arc<dyn obsv::Introspect>>,
+);
 
 /// Builds (formats and mounts) a system of the given kind.
 pub fn build(kind: SystemKind, cfg: &SystemConfig) -> Result<System> {
@@ -165,31 +178,32 @@ pub fn build(kind: SystemKind, cfg: &SystemConfig) -> Result<System> {
     };
     let registry = Arc::new(MetricsRegistry::new());
     registry.register("", dev.clone());
-    let (fs, hinfs, obs): Mounted = match kind {
+    let (fs, hinfs, obs, introspect): Mounted = match kind {
         SystemKind::Pmfs => {
             let p = Pmfs::mkfs(dev.clone(), popts)?;
+            registry.register("", p.clone());
             registry.register("", p.journal().stats().clone());
             let obs = p.obs().clone();
             registry.register("", obs.clone());
-            (p, None, Some(obs))
+            (p.clone(), None, Some(obs), Some(p as _))
         }
         SystemKind::Ext4Dax => {
             let e = Extfs::mkfs(dev.clone(), ExtMode::Ext4Dax, eopts)?;
             registry.register("", e.clone());
             let obs = e.obs().clone();
-            (e, None, Some(obs))
+            (e.clone(), None, Some(obs), Some(e as _))
         }
         SystemKind::Ext2Bd => {
             let e = Extfs::mkfs(dev.clone(), ExtMode::Ext2, eopts)?;
             registry.register("", e.clone());
             let obs = e.obs().clone();
-            (e, None, Some(obs))
+            (e.clone(), None, Some(obs), Some(e as _))
         }
         SystemKind::Ext4Bd => {
             let e = Extfs::mkfs(dev.clone(), ExtMode::Ext4, eopts)?;
             registry.register("", e.clone());
             let obs = e.obs().clone();
-            (e, None, Some(obs))
+            (e.clone(), None, Some(obs), Some(e as _))
         }
         SystemKind::Hinfs | SystemKind::HinfsNclfw | SystemKind::HinfsWb => {
             let mut hcfg = HinfsConfig::default().with_buffer_bytes(cfg.buffer_bytes);
@@ -199,11 +213,14 @@ pub fn build(kind: SystemKind, cfg: &SystemConfig) -> Result<System> {
             if kind == SystemKind::HinfsWb {
                 hcfg = hcfg.wb_only();
             }
+            if cfg.obsv_audit {
+                hcfg = hcfg.with_audit();
+            }
             let h = Hinfs::mkfs(dev.clone(), popts, hcfg)?;
             registry.register("", h.clone());
             registry.register("", h.pmfs().journal().stats().clone());
             let obs = h.obs().clone();
-            (h.clone(), Some(h), Some(obs))
+            (h.clone(), Some(h.clone()), Some(obs), Some(h as _))
         }
     };
     if let Some(obs) = &obs {
@@ -219,6 +236,7 @@ pub fn build(kind: SystemKind, cfg: &SystemConfig) -> Result<System> {
         hinfs,
         registry,
         obs,
+        introspect,
     })
 }
 
@@ -250,31 +268,32 @@ pub fn remount_with(
     };
     let registry = Arc::new(MetricsRegistry::new());
     registry.register("", dev.clone());
-    let (fs, hinfs, obs): Mounted = match kind {
+    let (fs, hinfs, obs, introspect): Mounted = match kind {
         SystemKind::Pmfs => {
             let p = Pmfs::mount(dev.clone())?;
+            registry.register("", p.clone());
             registry.register("", p.journal().stats().clone());
             let obs = p.obs().clone();
             registry.register("", obs.clone());
-            (p, None, Some(obs))
+            (p.clone(), None, Some(obs), Some(p as _))
         }
         SystemKind::Ext4Dax => {
             let e = Extfs::mount(dev.clone(), ExtMode::Ext4Dax, eopts)?;
             registry.register("", e.clone());
             let obs = e.obs().clone();
-            (e, None, Some(obs))
+            (e.clone(), None, Some(obs), Some(e as _))
         }
         SystemKind::Ext2Bd => {
             let e = Extfs::mount(dev.clone(), ExtMode::Ext2, eopts)?;
             registry.register("", e.clone());
             let obs = e.obs().clone();
-            (e, None, Some(obs))
+            (e.clone(), None, Some(obs), Some(e as _))
         }
         SystemKind::Ext4Bd => {
             let e = Extfs::mount(dev.clone(), ExtMode::Ext4, eopts)?;
             registry.register("", e.clone());
             let obs = e.obs().clone();
-            (e, None, Some(obs))
+            (e.clone(), None, Some(obs), Some(e as _))
         }
         SystemKind::Hinfs | SystemKind::HinfsNclfw | SystemKind::HinfsWb => {
             let mut hcfg = HinfsConfig::default().with_buffer_bytes(cfg.buffer_bytes);
@@ -284,11 +303,14 @@ pub fn remount_with(
             if kind == SystemKind::HinfsWb {
                 hcfg = hcfg.wb_only();
             }
+            if cfg.obsv_audit {
+                hcfg = hcfg.with_audit();
+            }
             let h = Hinfs::mount(dev.clone(), hcfg)?;
             registry.register("", h.clone());
             registry.register("", h.pmfs().journal().stats().clone());
             let obs = h.obs().clone();
-            (h.clone(), Some(h), Some(obs))
+            (h.clone(), Some(h.clone()), Some(obs), Some(h as _))
         }
     };
     if let Some(obs) = &obs {
@@ -304,6 +326,7 @@ pub fn remount_with(
         hinfs,
         registry,
         obs,
+        introspect,
     })
 }
 
@@ -382,6 +405,81 @@ mod tests {
         sys.fs.close(fd).unwrap();
         assert!(obs.op_histo(obsv::OpKind::Write).snapshot().count() > 0);
         let snap = sys.registry.snapshot();
-        assert!(snap.histo("op_write_ns").is_some(), "{:?}", snap.histos);
+        assert!(
+            snap.histo("obsv_op_write_ns").is_some(),
+            "{:?}",
+            snap.histos
+        );
+    }
+
+    #[test]
+    fn audit_flag_runs_auditor_on_fsync() {
+        let cfg = SystemConfig {
+            obsv_audit: true,
+            ..SystemConfig::small()
+        };
+        let sys = build(SystemKind::Hinfs, &cfg).unwrap();
+        let fd = sys
+            .fs
+            .open("/a", OpenFlags::RDWR | OpenFlags::CREATE)
+            .unwrap();
+        sys.fs.write(fd, 0, &[3u8; 8192]).unwrap();
+        sys.fs.fsync(fd).unwrap();
+        sys.fs.close(fd).unwrap();
+        let obs = sys.obs.as_ref().unwrap();
+        assert!(obs.audit_checks() > 0, "fsync ran the auditor");
+        assert_eq!(obs.audit_violations(), 0, "auditor is clean");
+        let rep = sys.introspect.as_ref().unwrap().audit();
+        assert!(rep.is_clean(), "{rep:?}");
+    }
+
+    /// Every registry metric name is snake_case and carries one of the
+    /// known subsystem prefixes, across fully-enabled builds of every
+    /// system kind.
+    #[test]
+    fn metric_names_are_prefixed_snake_case() {
+        const PREFIXES: [&str; 6] = ["hinfs_", "pmfs_", "extfs_", "nvmm_", "faultfs_", "obsv_"];
+        let cfg = SystemConfig {
+            obsv_timing: true,
+            obsv_trace: true,
+            obsv_spans: true,
+            obsv_audit: true,
+            ..SystemConfig::small()
+        };
+        for kind in [
+            SystemKind::Pmfs,
+            SystemKind::Ext4Dax,
+            SystemKind::Ext2Bd,
+            SystemKind::Ext4Bd,
+            SystemKind::Hinfs,
+        ] {
+            let sys = build(kind, &cfg).unwrap();
+            let fd = sys
+                .fs
+                .open("/n", OpenFlags::RDWR | OpenFlags::CREATE)
+                .unwrap();
+            sys.fs.write(fd, 0, &[1u8; 4096]).unwrap();
+            sys.fs.fsync(fd).unwrap();
+            sys.fs.close(fd).unwrap();
+            let snap = sys.registry.snapshot();
+            let names = snap
+                .counters
+                .keys()
+                .chain(snap.gauges.keys())
+                .chain(snap.histos.keys());
+            for name in names {
+                assert!(
+                    PREFIXES.iter().any(|p| name.starts_with(p)),
+                    "{}: metric `{name}` lacks a subsystem prefix",
+                    kind.label()
+                );
+                assert!(
+                    name.chars()
+                        .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+                    "{}: metric `{name}` is not snake_case",
+                    kind.label()
+                );
+            }
+        }
     }
 }

@@ -5,8 +5,13 @@
 //! crossings, writeback reclaim passes, BBM flips, journal commits).
 //!
 //! ```text
-//! cargo run --example obsv_dump
+//! cargo run --example obsv_dump [-- --json]
 //! ```
+//!
+//! With `--json` the trace-ring section is emitted as JSONL (one
+//! `TraceRecord::to_json` object per line, the same exporter the ring
+//! itself provides) instead of the human-readable digest, so the event
+//! stream can be piped straight into `jq`.
 
 use fskit::OpenFlags;
 use obsv::{row_label, OpKind, RegistrySnapshot, ALL_PHASES};
@@ -68,6 +73,7 @@ fn print_phase(name: &str, d: &RegistrySnapshot) {
 }
 
 fn main() {
+    let json = std::env::args().any(|a| a == "--json");
     // A deliberately tiny DRAM buffer (1 MiB on a 128 MiB device) so the
     // postmark churn crosses the writeback watermarks and forces reclaim.
     let cfg = SystemConfig {
@@ -75,6 +81,7 @@ fn main() {
         obsv_timing: true,
         obsv_trace: true,
         obsv_spans: true,
+        obsv_audit: true,
         ..SystemConfig::small()
     };
     let sys = build(SystemKind::Hinfs, &cfg).expect("build hinfs");
@@ -202,9 +209,10 @@ fn main() {
     );
     println!();
 
-    // The retained trace window: per-kind totals, the last few events of
-    // each kind (so rare events like BBM flips are visible next to the
-    // journal-commit firehose), then the newest events verbatim.
+    // The retained trace window: as raw JSONL under `--json`, otherwise
+    // per-kind totals, the last few events of each kind (so rare events
+    // like BBM flips are visible next to the journal-commit firehose),
+    // then the newest events verbatim.
     let window = obs.trace.tail(obs.trace.capacity());
     println!(
         "--- trace ring ({} retained of {} emitted, {} dropped) ---",
@@ -212,31 +220,36 @@ fn main() {
         obs.trace.emitted(),
         obs.trace.dropped()
     );
-    let kinds = [
-        "reclaim.begin",
-        "reclaim.end",
-        "watermark.low",
-        "foreground.stall",
-        "bbm.flip",
-        "journal.commit",
-        "writeback.periodic",
-        "recovery.begin",
-        "recovery.end",
-        "fault.injected",
-    ];
-    for kind in kinds {
-        let of_kind: Vec<_> = window.iter().filter(|r| r.ev.kind() == kind).collect();
-        if of_kind.is_empty() {
-            continue;
+    if json {
+        print!("{}", obs.trace.tail_jsonl(obs.trace.capacity()));
+    } else {
+        let kinds = [
+            "reclaim.begin",
+            "reclaim.end",
+            "watermark.low",
+            "foreground.stall",
+            "bbm.flip",
+            "journal.commit",
+            "writeback.periodic",
+            "recovery.begin",
+            "recovery.end",
+            "fault.injected",
+            "audit.violation",
+        ];
+        for kind in kinds {
+            let of_kind: Vec<_> = window.iter().filter(|r| r.ev.kind() == kind).collect();
+            if of_kind.is_empty() {
+                continue;
+            }
+            println!("  {kind} x{} in window, last:", of_kind.len());
+            for rec in of_kind.iter().rev().take(3).rev() {
+                println!("    {rec}");
+            }
         }
-        println!("  {kind} x{} in window, last:", of_kind.len());
-        for rec in of_kind.iter().rev().take(3).rev() {
+        println!("  newest 12 events:");
+        for rec in window.iter().rev().take(12).rev() {
             println!("    {rec}");
         }
-    }
-    println!("  newest 12 events:");
-    for rec in window.iter().rev().take(12).rev() {
-        println!("    {rec}");
     }
     println!();
 

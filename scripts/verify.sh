@@ -31,6 +31,11 @@ run cargo test -q $OFFLINE
 # exits non-zero on any oracle violation or panic).
 run cargo run --release $OFFLINE --example crash_recovery
 
+# State introspection gate: run the quick-scale fileserver workload with
+# the online invariant auditor on; exits non-zero on any audit violation
+# or any snapshot-vs-registry disagreement.
+run cargo run --release $OFFLINE --example fs_inspect -- --audit
+
 # Machine-readable perf pipeline: regenerate the BENCH document at the
 # quick deterministic scale and gate it against the committed baseline.
 # The virtual clock makes the run reproducible, so any drift here is a

@@ -12,10 +12,10 @@ use workloads::traces::{TraceReplay, USR0};
 use workloads::RunReport;
 
 fn one_run(kind: SystemKind, seed: u64) -> RunReport {
-    one_run_with(kind, seed, false)
+    one_run_with(kind, seed, false, false)
 }
 
-fn one_run_with(kind: SystemKind, seed: u64, observed: bool) -> RunReport {
+fn one_run_with(kind: SystemKind, seed: u64, observed: bool, audited: bool) -> RunReport {
     let cfg = SystemConfig {
         device_bytes: 64 << 20,
         buffer_bytes: 2 << 20,
@@ -24,6 +24,7 @@ fn one_run_with(kind: SystemKind, seed: u64, observed: bool) -> RunReport {
         inode_count: 4096,
         obsv_timing: observed,
         obsv_spans: observed,
+        obsv_audit: audited,
         ..SystemConfig::default()
     };
     let sys = build(kind, &cfg).unwrap();
@@ -41,6 +42,18 @@ fn one_run_with(kind: SystemKind, seed: u64, observed: bool) -> RunReport {
     let r = Runner::new(sys.env.clone(), sys.fs.clone())
         .with_device(sys.dev.clone())
         .run(actors, RunLimit::duration_ms(100), seed);
+    if audited {
+        // Snapshots and a full audit pass are read-only; take them before
+        // unmount so the run exercises both with the caches still warm.
+        let intro = sys.introspect.as_ref().expect("system introspects");
+        let snap = intro.snapshot();
+        assert_eq!(snap, intro.snapshot(), "snapshotting is repeatable");
+        let rep = intro.audit();
+        assert!(rep.is_clean(), "audit violations: {:?}", rep.violations);
+        if let Some(obs) = &sys.obs {
+            assert_eq!(obs.audit_violations(), 0);
+        }
+    }
     sys.fs.unmount().unwrap();
     r
 }
@@ -101,9 +114,21 @@ fn spans_and_timing_do_not_change_results() {
         SystemKind::Ext4Bd,
         SystemKind::Ext4Dax,
     ] {
-        let plain = one_run_with(kind, 42, false);
-        let observed = one_run_with(kind, 42, true);
+        let plain = one_run_with(kind, 42, false, false);
+        let observed = one_run_with(kind, 42, true, true);
         assert_identical(&plain, &observed, kind.label());
+    }
+}
+
+/// Snapshots are pure reads and the auditor only takes the regular locks,
+/// so running with `obsv_audit` on (every fsync self-audits) and taking
+/// snapshots mid-flight must not perturb a single figure-relevant number.
+#[test]
+fn snapshots_and_audit_do_not_change_results() {
+    for kind in [SystemKind::Pmfs, SystemKind::Hinfs, SystemKind::Ext4Bd] {
+        let plain = one_run_with(kind, 7, false, false);
+        let audited = one_run_with(kind, 7, false, true);
+        assert_identical(&plain, &audited, kind.label());
     }
 }
 
