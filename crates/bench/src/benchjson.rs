@@ -6,9 +6,13 @@
 //! - flat `"headline::<workload>::<system>::<metric>"` keys, one per
 //!   line, so `scripts/bench_check.sh` can gate regressions with plain
 //!   `grep`/`awk` (no JSON parser required);
+//! - a `threads={1,2,4,8}` scaling sweep per headline cell
+//!   (`...::threads=<n>::ops_per_s` / `::p99_ns` keys);
 //! - per-op latency quantiles (p50/p95/p99/mean) from the [`FsObs`]
 //!   histograms of the headline runs;
 //! - the OpKind × Phase span matrix of each headline run;
+//! - the Site × OpKind lock-contention matrix of each headline run
+//!   (wait/hold time per site, top sites by wait);
 //! - every figure table produced by the invocation.
 //!
 //! Everything runs on the deterministic virtual clock, so two runs of the
@@ -17,7 +21,7 @@
 use std::fmt::Write as _;
 use std::sync::Arc;
 
-use obsv::{row_label, SpanSnapshot, ALL_OPS, ALL_PHASES, SPAN_ROWS};
+use obsv::{row_label, HistoSnapshot, SpanSnapshot, ALL_OPS, ALL_PHASES, SPAN_ROWS};
 use workloads::fileset::Fileset;
 use workloads::runner::{RunLimit, Runner};
 use workloads::setups::{build, remount_with, System, SystemKind};
@@ -27,7 +31,10 @@ use crate::common::{Personality, Scale};
 use crate::table::Table;
 
 /// Bumped whenever the document layout changes incompatibly.
-pub const SCHEMA_VERSION: u32 = 1;
+pub const SCHEMA_VERSION: u32 = 2;
+
+/// Thread counts of the per-cell scaling sweep.
+pub const THREADS_SWEEP: [usize; 4] = [1, 2, 4, 8];
 
 /// The current git revision, or `"unknown"` outside a work tree.
 pub fn git_rev() -> String {
@@ -71,6 +78,35 @@ struct Headline {
     /// End-of-run state snapshot (FS sections merged with the device
     /// section), captured just before unmount.
     snapshot: obsv::FsSnapshot,
+    /// Lock-contention and stall profile of the run.
+    contention: obsv::ContentionSnapshot,
+    /// The threads={1,2,4,8} scaling sweep of this cell (empty until
+    /// [`run_cell`] attaches it).
+    sweep: Vec<SweepPoint>,
+}
+
+/// One point of a cell's thread-scaling sweep.
+struct SweepPoint {
+    threads: usize,
+    ops_per_s: f64,
+    p99_ns: u64,
+}
+
+/// p99 across every op kind of a run (all op histograms merged).
+fn overall_p99(obs: &Option<Arc<obsv::FsObs>>) -> u64 {
+    let Some(obs) = obs else { return 0 };
+    let mut merged: Option<HistoSnapshot> = None;
+    for op in ALL_OPS {
+        let snap = obs.op_histo(op).snapshot();
+        if snap.count() == 0 {
+            continue;
+        }
+        match &mut merged {
+            Some(m) => m.merge(&snap),
+            None => merged = Some(snap),
+        }
+    }
+    merged.map(|m| m.quantile(0.99)).unwrap_or(0)
 }
 
 /// The headline grid gated by `bench_check.sh`: the paper's central
@@ -84,7 +120,7 @@ const HEADLINES: [(Personality, SystemKind); 4] = [
 ];
 
 /// Builds, populates, remounts (cold caches) and runs one headline cell
-/// with timing + spans on.
+/// with timing + spans + contention profiling on.
 fn run_headline(p: Personality, kind: SystemKind, scale: &Scale) -> Headline {
     // The analytic time ledger is thread-local and survives across cells;
     // start each cell from zero so the end-of-run snapshot (and thus the
@@ -93,6 +129,7 @@ fn run_headline(p: Personality, kind: SystemKind, scale: &Scale) -> Headline {
     let mut cfg = scale.system_config(nvmm::CostModel::default());
     cfg.obsv_timing = true;
     cfg.obsv_spans = true;
+    cfg.obsv_contention = true;
     let sys = build(kind, &cfg).expect("build system");
     let set = Fileset::populate(&*sys.fs, scale.fileset_spec(), 0xF11E).expect("populate fileset");
     sys.fs.unmount().expect("unmount after populate");
@@ -105,6 +142,7 @@ fn run_headline(p: Personality, kind: SystemKind, scale: &Scale) -> Headline {
         .with_device(sys.dev.clone())
         .run(actors, RunLimit::duration_ms(scale.duration_ms), 0xBEEF);
     let spans = sys.dev.spans().snapshot().since(&s0);
+    let contention = sys.env.contention().snapshot();
     let obs = sys.obs.clone();
     let mut snapshot = sys
         .introspect
@@ -120,7 +158,42 @@ fn run_headline(p: Personality, kind: SystemKind, scale: &Scale) -> Headline {
         obs,
         spans,
         snapshot,
+        contention,
+        sweep: Vec::new(),
     }
+}
+
+/// Runs one headline cell at every [`THREADS_SWEEP`] count and returns the
+/// base cell (the run at `scale.threads`) with the sweep attached. The
+/// base run doubles as its own sweep point, so the legacy headline keys
+/// and the matching `threads=<n>` keys come from the same run.
+fn run_cell(p: Personality, kind: SystemKind, scale: &Scale) -> Headline {
+    let mut base = run_headline(p, kind, scale);
+    let sweep = THREADS_SWEEP
+        .iter()
+        .map(|&n| {
+            if n == scale.threads {
+                SweepPoint {
+                    threads: n,
+                    ops_per_s: base.report.throughput(),
+                    p99_ns: overall_p99(&base.obs),
+                }
+            } else {
+                let s = Scale {
+                    threads: n,
+                    ..scale.clone()
+                };
+                let h = run_headline(p, kind, &s);
+                SweepPoint {
+                    threads: n,
+                    ops_per_s: h.report.throughput(),
+                    p99_ns: overall_p99(&h.obs),
+                }
+            }
+        })
+        .collect();
+    base.sweep = sweep;
+    base
 }
 
 fn push_scale(out: &mut String, scale: &Scale, name: &str) {
@@ -154,7 +227,84 @@ fn push_headline_keys(out: &mut String, cells: &[Headline]) {
             "  \"{base}::nvmm_write_bytes\": {},",
             h.report.device.nvmm_bytes_written
         );
+        for pt in &h.sweep {
+            let _ = writeln!(
+                out,
+                "  \"{base}::threads={}::ops_per_s\": {:.3},",
+                pt.threads, pt.ops_per_s
+            );
+            let _ = writeln!(
+                out,
+                "  \"{base}::threads={}::p99_ns\": {},",
+                pt.threads, pt.p99_ns
+            );
+        }
     }
+}
+
+/// The per-cell contention section: per-site acquisition/wait/hold totals,
+/// the Site × OpKind wait matrix, and the top sites by wait time.
+fn push_contention(out: &mut String, cells: &[Headline]) {
+    let _ = writeln!(out, "  \"contention\": {{");
+    let mut first_cell = true;
+    for h in cells {
+        if !first_cell {
+            let _ = writeln!(out, ",");
+        }
+        first_cell = false;
+        let _ = writeln!(out, "    \"{}::{}\": {{", h.workload, h.system);
+        let sites: Vec<String> = h
+            .contention
+            .touched()
+            .map(|site| {
+                format!(
+                    "        \"{}\": {{\"acquisitions\": {}, \"contended\": {}, \"wait_ns\": {}, \"hold_ns\": {}}}",
+                    site.site.label(),
+                    site.acquisitions,
+                    site.contended,
+                    site.wait.sum(),
+                    site.hold.sum()
+                )
+            })
+            .collect();
+        let _ = writeln!(out, "      \"sites\": {{");
+        let _ = writeln!(out, "{}", sites.join(",\n"));
+        let _ = writeln!(out, "      }},");
+        let top: Vec<String> = h
+            .contention
+            .top_by_wait(5)
+            .iter()
+            .map(|site| format!("\"{}\"", site.site.label()))
+            .collect();
+        let _ = writeln!(out, "      \"top_by_wait\": [{}],", top.join(", "));
+        // Site × OpKind matrix: wait then hold ns per op row, nonzero only.
+        let mut mat = Vec::new();
+        for site in h.contention.touched() {
+            let mut ops = Vec::new();
+            for row in 0..SPAN_ROWS {
+                let (w, hold) = (site.wait_by_op[row], site.hold_by_op[row]);
+                if w > 0 || hold > 0 {
+                    ops.push(format!(
+                        "\"{}\": {{\"wait_ns\": {w}, \"hold_ns\": {hold}}}",
+                        row_label(row)
+                    ));
+                }
+            }
+            if !ops.is_empty() {
+                mat.push(format!(
+                    "        \"{}\": {{{}}}",
+                    site.site.label(),
+                    ops.join(", ")
+                ));
+            }
+        }
+        let _ = writeln!(out, "      \"by_op\": {{");
+        let _ = writeln!(out, "{}", mat.join(",\n"));
+        let _ = writeln!(out, "      }}");
+        let _ = write!(out, "    }}");
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(out, "  }},");
 }
 
 fn push_op_latency(out: &mut String, cells: &[Headline]) {
@@ -303,7 +453,7 @@ fn push_figures(out: &mut String, tables: &[Table]) {
 pub fn emit(scale: &Scale, scale_name: &str, tables: &[Table]) -> String {
     let cells: Vec<Headline> = HEADLINES
         .iter()
-        .map(|&(p, kind)| run_headline(p, kind, scale))
+        .map(|&(p, kind)| run_cell(p, kind, scale))
         .collect();
     render(scale, scale_name, tables, &cells, &git_rev())
 }
@@ -323,6 +473,7 @@ fn render(
     push_scale(&mut out, scale, scale_name);
     push_headline_keys(&mut out, cells);
     push_op_latency(&mut out, cells);
+    push_contention(&mut out, cells);
     push_spans(&mut out, cells);
     push_snapshot(&mut out, cells);
     push_figures(&mut out, tables);
@@ -359,10 +510,13 @@ mod tests {
             .collect();
         let doc = render(&scale, "tiny", &[t.clone()], &cells, "deadbeef");
         for needle in [
-            "\"schema_version\": 1",
+            "\"schema_version\": 2",
             "\"git_rev\": \"deadbeef\"",
             "\"headline::fileserver::hinfs::ops_per_s\"",
             "\"op_latency\"",
+            "\"contention\"",
+            "\"hinfs.buffer_pool\"",
+            "\"top_by_wait\"",
             "\"spans\"",
             "\"snapshot\"",
             "\"schema\":1",
@@ -373,7 +527,8 @@ mod tests {
             assert!(doc.contains(needle), "missing {needle} in:\n{doc}");
         }
         // Re-running the same workload yields the identical document: the
-        // virtual clock makes the whole pipeline deterministic.
+        // virtual clock makes the whole pipeline deterministic, with
+        // contention profiling on included.
         let cells2: Vec<Headline> = [(Personality::Fileserver, SystemKind::Hinfs)]
             .iter()
             .map(|&(p, k)| run_headline(p, k, &scale))
@@ -387,11 +542,20 @@ mod tests {
         let scale = tiny_scale();
         let cells: Vec<Headline> = [(Personality::Webproxy, SystemKind::Pmfs)]
             .iter()
-            .map(|&(p, k)| run_headline(p, k, &scale))
+            .map(|&(p, k)| run_cell(p, k, &scale))
             .collect();
         let doc = render(&scale, "tiny", &[], &cells, "r");
         let lines: Vec<&str> = doc.lines().filter(|l| l.contains("\"headline::")).collect();
-        assert_eq!(lines.len(), 4, "{doc}");
+        // 4 legacy keys + (ops_per_s, p99_ns) per sweep point.
+        assert_eq!(lines.len(), 4 + 2 * THREADS_SWEEP.len(), "{doc}");
+        for &n in &THREADS_SWEEP {
+            assert!(
+                lines
+                    .iter()
+                    .any(|l| l.contains(&format!("::threads={n}::ops_per_s"))),
+                "sweep point threads={n} missing:\n{doc}"
+            );
+        }
         for l in &lines {
             // key and numeric value on one line, trailing comma: the shape
             // scripts/bench_check.sh greps for.

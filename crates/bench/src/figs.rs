@@ -151,7 +151,7 @@ pub fn fig02(scale: &Scale) -> Table {
     // Filebench personalities.
     for p in Personality::ALL {
         let (sys, set) = prepared_system(SystemKind::Pmfs, scale, cost());
-        let r = run_personality(&sys, &set, p, scale.threads.min(2), scale);
+        let r = run_personality(&sys, &set, p, scale.threads, scale);
         t.row(vec![
             p.label().into(),
             mib(r.metrics.bytes_written),
@@ -235,13 +235,7 @@ pub fn fig06(scale: &Scale) -> Table {
     // Varmail.
     {
         let (sys, set) = prepared_system(SystemKind::Hinfs, scale, CostModel::default());
-        let _ = run_personality(
-            &sys,
-            &set,
-            Personality::Varmail,
-            scale.threads.min(2),
-            scale,
-        );
+        let _ = run_personality(&sys, &set, Personality::Varmail, scale.threads, scale);
         let s = sys.hinfs.as_ref().expect("hinfs").stats().snapshot();
         record("varmail", &sys, s.bbm_evals, s.bbm_accuracy());
     }
@@ -440,7 +434,7 @@ pub fn fig10(scale: &Scale) -> Table {
                     duration_ms: scale.duration_ms / 2,
                     ..scale.clone()
                 };
-                let r = filebench_once(kind, p, scale.threads.min(2), &s, CostModel::default());
+                let r = filebench_once(kind, p, scale.threads, &s, CostModel::default());
                 row.push(format!("{:.0}", r.throughput()));
             }
             t.row(row);

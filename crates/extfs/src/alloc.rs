@@ -8,7 +8,7 @@
 
 use fskit::{FsError, Result};
 use nvmm::{Cat, BLOCK_SIZE};
-use parking_lot::Mutex;
+use obsv::{ContentionTable, Site, TrackedMutex};
 
 use crate::cache::BufferCache;
 use crate::jbd::Jbd;
@@ -25,7 +25,7 @@ struct State {
 pub struct DiskBitmap {
     start_blk: u64,
     nbits: u64,
-    state: Mutex<State>,
+    state: TrackedMutex<State>,
 }
 
 impl DiskBitmap {
@@ -56,12 +56,21 @@ impl DiskBitmap {
         DiskBitmap {
             start_blk,
             nbits,
-            state: Mutex::new(State {
-                bits,
-                free: nbits - used,
-                hint: 0,
-            }),
+            state: TrackedMutex::new(
+                Site::ExtfsAlloc,
+                State {
+                    bits,
+                    free: nbits - used,
+                    hint: 0,
+                },
+            ),
         }
+    }
+
+    /// Wires the bitmap's lock to a contention profiler (first caller
+    /// wins). The file system calls this at mount.
+    pub fn attach_contention(&self, table: &std::sync::Arc<ContentionTable>) {
+        self.state.attach(table);
     }
 
     /// Number of free bits.

@@ -16,7 +16,7 @@ use std::sync::Arc;
 use blockdev::Nvmmbd;
 use fskit::lrulist::RecencyList;
 use nvmm::{Cat, BLOCK_SIZE};
-use parking_lot::Mutex;
+use obsv::{Site, TrackedMutex};
 
 #[derive(Debug, Clone, Copy)]
 struct PageMeta {
@@ -45,7 +45,7 @@ struct Inner {
 #[derive(Debug)]
 pub struct BufferCache {
     bd: Arc<Nvmmbd>,
-    inner: Mutex<Inner>,
+    inner: TrackedMutex<Inner>,
     capacity: usize,
 }
 
@@ -53,26 +53,31 @@ impl BufferCache {
     /// Creates a cache of `pages` 4 KiB pages over `bd`.
     pub fn new(bd: Arc<Nvmmbd>, pages: usize) -> BufferCache {
         let pages = pages.max(8);
+        let contention = bd.byte_device().contention().clone();
         BufferCache {
             bd,
-            inner: Mutex::new(Inner {
-                map: HashMap::new(),
-                data: vec![0u8; pages * BLOCK_SIZE],
-                meta: vec![
-                    PageMeta {
-                        blk: 0,
-                        dirty: false,
-                        dirtied_ns: 0,
-                        pinned: false,
-                    };
-                    pages
-                ],
-                free: (0..pages as u32).rev().collect(),
-                lru: RecencyList::new(pages),
-                dirty_count: 0,
-                hits: 0,
-                misses: 0,
-            }),
+            inner: TrackedMutex::attached(
+                &contention,
+                Site::ExtfsCache,
+                Inner {
+                    map: HashMap::new(),
+                    data: vec![0u8; pages * BLOCK_SIZE],
+                    meta: vec![
+                        PageMeta {
+                            blk: 0,
+                            dirty: false,
+                            dirtied_ns: 0,
+                            pinned: false,
+                        };
+                        pages
+                    ],
+                    free: (0..pages as u32).rev().collect(),
+                    lru: RecencyList::new(pages),
+                    dirty_count: 0,
+                    hits: 0,
+                    misses: 0,
+                },
+            ),
             capacity: pages,
         }
     }

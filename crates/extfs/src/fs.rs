@@ -13,8 +13,7 @@ use std::sync::Arc;
 use blockdev::Nvmmbd;
 use fskit::{DirEntry, Fd, FdTable, FileSystem, FileType, FsError, OpenFlags, Result, Stat};
 use nvmm::{Cat, NvmmDevice, SimEnv, BLOCK_SIZE};
-use obsv::{FsObs, OpKind, Phase, TraceEvent};
-use parking_lot::Mutex;
+use obsv::{FsObs, OpKind, Phase, Site, TraceEvent, TrackedMutex};
 
 use crate::alloc::DiskBitmap;
 use crate::blkmap;
@@ -74,11 +73,11 @@ pub struct Extfs {
     ialloc: DiskBitmap,
     icache: ExtInodeCache,
     fds: FdTable<ExtOpenFile>,
-    ns: Mutex<()>,
+    ns: TrackedMutex<()>,
     opts: ExtOptions,
     last_commit: AtomicU64,
     /// Device data blocks dirtied per inode, for ordered-mode fsync.
-    dirty_data: Mutex<HashMap<u64, HashSet<u64>>>,
+    dirty_data: TrackedMutex<HashMap<u64, HashSet<u64>>>,
     obs: Arc<FsObs>,
     /// Journal transactions replayed at mount (0 on a fresh mkfs mount).
     replayed: u64,
@@ -146,6 +145,13 @@ impl Extfs {
         let env = bd.byte_device().env().clone();
         let obs = Arc::new(FsObs::default());
         obs.set_spans(bd.byte_device().spans().clone());
+        let contention = bd.byte_device().contention().clone();
+        balloc.attach_contention(&contention);
+        ialloc.attach_contention(&contention);
+        let icache = ExtInodeCache::new();
+        icache.attach_contention(&contention);
+        let fds = FdTable::new();
+        fds.attach_contention(&contention);
         Ok(Arc::new(Extfs {
             mode,
             env,
@@ -155,12 +161,12 @@ impl Extfs {
             jbd,
             balloc,
             ialloc,
-            icache: ExtInodeCache::new(),
-            fds: FdTable::new(),
-            ns: Mutex::new(()),
+            icache,
+            fds,
+            ns: TrackedMutex::attached(&contention, Site::ExtfsNamespace, ()),
             opts,
             last_commit: AtomicU64::new(0),
-            dirty_data: Mutex::new(HashMap::new()),
+            dirty_data: TrackedMutex::attached(&contention, Site::ExtfsDirtyData, HashMap::new()),
             obs,
             replayed,
         }))

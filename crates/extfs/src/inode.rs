@@ -9,6 +9,7 @@ use std::sync::Arc;
 
 use fskit::{FileType, FsError, Result};
 use nvmm::Cat;
+use obsv::{ContentionTable, Site, TrackedMutex};
 use parking_lot::{Mutex, RwLock};
 
 use crate::cache::BufferCache;
@@ -100,15 +101,29 @@ pub struct ExtInodeHandle {
 }
 
 /// Cache of in-memory inode handles.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ExtInodeCache {
-    map: Mutex<HashMap<u64, Arc<ExtInodeHandle>>>,
+    map: TrackedMutex<HashMap<u64, Arc<ExtInodeHandle>>>,
+}
+
+impl Default for ExtInodeCache {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl ExtInodeCache {
     /// An empty handle cache.
     pub fn new() -> ExtInodeCache {
-        ExtInodeCache::default()
+        ExtInodeCache {
+            map: TrackedMutex::new(Site::ExtfsInodeMap, HashMap::new()),
+        }
+    }
+
+    /// Wires the handle-map lock to a contention profiler (first caller
+    /// wins). The file system calls this at mount.
+    pub fn attach_contention(&self, table: &Arc<ContentionTable>) {
+        self.map.attach(table);
     }
 
     /// Loads (or returns the cached) handle for a used inode.

@@ -20,7 +20,7 @@ use std::sync::Arc;
 
 use blockdev::Nvmmbd;
 use nvmm::{Cat, BLOCK_SIZE};
-use parking_lot::Mutex;
+use obsv::{Site, TrackedMutex};
 
 use crate::cache::BufferCache;
 
@@ -53,7 +53,7 @@ pub struct Jbd {
     start: u64,
     blocks: u64,
     enabled: bool,
-    inner: Mutex<JbdInner>,
+    inner: TrackedMutex<JbdInner>,
 }
 
 impl Jbd {
@@ -61,18 +61,23 @@ impl Jbd {
     /// (ext2 mode) turns every operation into a no-op.
     pub fn open(bd: Arc<Nvmmbd>, start: u64, blocks: u64, enabled: bool) -> Jbd {
         assert!(blocks >= 8, "journal area too small");
-        Jbd {
-            bd,
-            start,
-            blocks,
-            enabled,
-            inner: Mutex::new(JbdInner {
+        let inner = TrackedMutex::attached(
+            bd.byte_device().contention(),
+            Site::ExtfsJbd,
+            JbdInner {
                 running: BTreeSet::new(),
                 revoked: BTreeSet::new(),
                 seq: 1,
                 write_ptr: 0,
                 commits: 0,
-            }),
+            },
+        );
+        Jbd {
+            bd,
+            start,
+            blocks,
+            enabled,
+            inner,
         }
     }
 

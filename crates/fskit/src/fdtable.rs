@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use obsv::{ContentionTable, Site, TrackedMutex};
 
 use crate::error::{FsError, Result};
 use crate::types::Fd;
@@ -13,7 +13,7 @@ use crate::types::Fd;
 /// behind a single mutex; descriptor operations are rare compared to I/O.
 #[derive(Debug)]
 pub struct FdTable<T> {
-    inner: Mutex<Inner<T>>,
+    inner: TrackedMutex<Inner<T>>,
 }
 
 #[derive(Debug)]
@@ -32,11 +32,20 @@ impl<T> FdTable<T> {
     /// Creates an empty table.
     pub fn new() -> Self {
         FdTable {
-            inner: Mutex::new(Inner {
-                slots: Vec::new(),
-                free: Vec::new(),
-            }),
+            inner: TrackedMutex::new(
+                Site::FskitFdtable,
+                Inner {
+                    slots: Vec::new(),
+                    free: Vec::new(),
+                },
+            ),
         }
+    }
+
+    /// Connects the table's lock to a contention profiler (first caller
+    /// wins). File systems call this at mount.
+    pub fn attach_contention(&self, table: &Arc<ContentionTable>) {
+        self.inner.attach(table);
     }
 
     /// Inserts per-open state and returns its descriptor.

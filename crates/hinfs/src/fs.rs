@@ -18,8 +18,7 @@ use std::sync::Arc;
 
 use fskit::{DirEntry, Fd, FileSystem, FileType, FsError, MmapHandle, OpenFlags, Result, Stat};
 use nvmm::{Cat, NvmmDevice, SimEnv, BLOCK_SIZE, CACHELINE};
-use obsv::{FsObs, OpKind, Phase, TraceEvent};
-use parking_lot::Mutex;
+use obsv::{FsObs, OpKind, Phase, Site, TraceEvent, TrackedMutex};
 use pmfs::inode::InodeMem;
 use pmfs::{Layout, Pmfs, PmfsOptions, TxHandle};
 
@@ -35,7 +34,7 @@ pub struct Hinfs {
     pub(crate) inner: Arc<Pmfs>,
     pub(crate) env: Arc<SimEnv>,
     pub(crate) cfg: HinfsConfig,
-    pub(crate) shared: Mutex<Shared>,
+    pub(crate) shared: TrackedMutex<Shared>,
     pub(crate) stats: HinfsStats,
     pub(crate) obs: Arc<FsObs>,
     pub(crate) wb: WbCtl,
@@ -59,7 +58,11 @@ impl Hinfs {
     fn wrap(inner: Arc<Pmfs>, cfg: HinfsConfig) -> Result<Arc<Hinfs>> {
         let env = inner.env().clone();
         let fs = Arc::new(Hinfs {
-            shared: Mutex::new(Shared::init(cfg.buffer_blocks())),
+            shared: TrackedMutex::attached(
+                env.contention(),
+                Site::HinfsBufferPool,
+                Shared::init(cfg.buffer_blocks()),
+            ),
             stats: HinfsStats::new(),
             obs: Arc::new(FsObs::default()),
             wb: WbCtl::new(),
@@ -67,6 +70,7 @@ impl Hinfs {
             env,
             cfg,
         });
+        fs.wb.attach_contention(fs.env.contention());
         // Journal commits land on the same trace timeline as writeback.
         fs.inner.journal().set_trace(fs.obs.trace.clone());
         fs.obs.set_spans(fs.inner.device().spans().clone());
@@ -132,12 +136,27 @@ impl Hinfs {
     /// directory-entry edits) may need.
     const NS_HEADROOM: u64 = 64;
 
+    /// Books the simulated time elapsed since `t0` as a stall at `site`
+    /// (no-op when the profiler is off or no time passed).
+    fn note_stall(&self, site: Site, t0: u64) {
+        let c = self.env.contention();
+        if !c.enabled() {
+            return;
+        }
+        let dt = self.env.now().saturating_sub(t0);
+        if dt > 0 {
+            c.stall(site, dt);
+        }
+    }
+
     /// Relieves journal pressure before a namespace operation delegates to
     /// PMFS: open lazy transactions are what pins the ring, and only HiNFS
     /// can flush them.
     fn relieve_for_namespace(&self) {
         if self.inner.journal().free_entries() < Self::NS_HEADROOM {
+            let t0 = self.env.now();
             self.flush_all_opportunistic();
+            self.note_stall(Site::StallJournalFull, t0);
         }
     }
 
@@ -146,15 +165,19 @@ impl Hinfs {
     /// nearly full — first this file's, then, best-effort, everyone's.
     fn begin_tx(&self, ino: u64, state: &mut InodeMem) -> Result<TxHandle> {
         if self.inner.journal().free_entries() < Self::TX_HEADROOM {
+            let t0 = self.env.now();
             self.fsync_core(ino, state, false)?;
             if self.inner.journal().free_entries() < Self::TX_HEADROOM {
                 self.flush_all_opportunistic();
             }
+            self.note_stall(Site::StallJournalFull, t0);
         }
         match self.inner.journal().begin() {
             Ok(tx) => Ok(tx),
             Err(FsError::JournalFull) => {
+                let t0 = self.env.now();
                 self.fsync_core(ino, state, false)?;
+                self.note_stall(Site::StallJournalFull, t0);
                 self.inner.journal().begin()
             }
             Err(e) => Err(e),
@@ -442,7 +465,9 @@ impl Hinfs {
                 self.obs
                     .trace
                     .emit(now, || TraceEvent::ForegroundStall { ino });
+                let t0 = self.env.now();
                 self.reclaim(1, Some((ino, state)), false);
+                self.note_stall(Site::StallWriteback, t0);
                 continue;
             };
             HinfsStats::bump(&self.stats.buffer_misses, 1);

@@ -24,7 +24,7 @@ use std::thread::JoinHandle;
 
 use fskit::{FsError, Result};
 use nvmm::{Cat, TimeMode, BLOCK_SIZE, CACHELINE};
-use parking_lot::{Condvar, Mutex};
+use obsv::{ContentionTable, Site, TrackedCondvar, TrackedMutex};
 use pmfs::inode::InodeMem;
 use pmfs::Layout;
 
@@ -41,9 +41,9 @@ pub struct WbCtl {
     /// Last periodic pass, in simulated ns.
     pub(crate) last_periodic: AtomicU64,
     pub(crate) stop: AtomicBool,
-    pub(crate) kick_flag: Mutex<bool>,
-    pub(crate) kick_cv: Condvar,
-    pub(crate) threads: Mutex<Vec<JoinHandle<()>>>,
+    pub(crate) kick_flag: TrackedMutex<bool>,
+    pub(crate) kick_cv: TrackedCondvar,
+    pub(crate) threads: TrackedMutex<Vec<JoinHandle<()>>>,
 }
 
 impl WbCtl {
@@ -52,10 +52,17 @@ impl WbCtl {
             clock: AtomicU64::new(0),
             last_periodic: AtomicU64::new(0),
             stop: AtomicBool::new(false),
-            kick_flag: Mutex::new(false),
-            kick_cv: Condvar::new(),
-            threads: Mutex::new(Vec::new()),
+            kick_flag: TrackedMutex::new(Site::HinfsWriteback, false),
+            kick_cv: TrackedCondvar::new(),
+            threads: TrackedMutex::new(Site::HinfsWriteback, Vec::new()),
         }
+    }
+
+    /// Wires the control locks to the machine's contention profiler
+    /// (first caller wins). `Hinfs::wrap` calls this at mount.
+    pub(crate) fn attach_contention(&self, table: &Arc<ContentionTable>) {
+        self.kick_flag.attach(table);
+        self.threads.attach(table);
     }
 }
 

@@ -18,8 +18,7 @@
 
 use std::sync::Arc;
 
-use obsv::{Phase, SpanTable};
-use parking_lot::{Mutex, RwLock};
+use obsv::{ContentionTable, Phase, Site, SpanTable, TrackedMutex, TrackedRwLock};
 
 use crate::crash::Shadow;
 use crate::fault::{self, BoundaryKind, FaultHook};
@@ -32,8 +31,8 @@ use crate::{lines_touched, CACHELINE};
 #[derive(Debug)]
 pub struct NvmmDevice {
     env: Arc<SimEnv>,
-    mem: RwLock<Box<[u8]>>,
-    shadow: Option<Mutex<Shadow>>,
+    mem: TrackedRwLock<Box<[u8]>>,
+    shadow: Option<TrackedMutex<Shadow>>,
     stats: DeviceStats,
     fault: Arc<FaultHook>,
     spans: Arc<SpanTable>,
@@ -86,15 +85,27 @@ impl NvmmDevice {
     fn build(env: Arc<SimEnv>, len: usize, tracked: bool) -> Arc<Self> {
         assert!(len > 0, "device must not be empty");
         assert_eq!(len % CACHELINE, 0, "device length must be line-aligned");
+        let contention = env.contention().clone();
         Arc::new(NvmmDevice {
+            mem: TrackedRwLock::attached(
+                &contention,
+                Site::NvmmDevice,
+                vec![0u8; len].into_boxed_slice(),
+            ),
+            shadow: tracked
+                .then(|| TrackedMutex::attached(&contention, Site::NvmmShadow, Shadow::new(len))),
             env,
-            mem: RwLock::new(vec![0u8; len].into_boxed_slice()),
-            shadow: tracked.then(|| Mutex::new(Shadow::new(len))),
             stats: DeviceStats::new(),
             fault: FaultHook::new(),
             spans: Arc::new(SpanTable::new()),
             len,
         })
+    }
+
+    /// The lock-contention and stall profiler of this device's machine
+    /// (the environment's table).
+    pub fn contention(&self) -> &Arc<ContentionTable> {
+        self.env.contention()
     }
 
     /// The per-op × per-phase span matrix every access to this device

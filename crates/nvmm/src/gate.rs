@@ -18,8 +18,9 @@
 //!   latency, just like the paper's emulator.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
-use parking_lot::{Condvar, Mutex};
+use obsv::{ContentionTable, Site, TrackedCondvar, TrackedMutex};
 
 /// Width of one calendar bucket, ns.
 const BUCKET_NS: u64 = 1_000;
@@ -56,12 +57,12 @@ impl Default for Calendar {
 #[derive(Debug)]
 pub struct BandwidthGate {
     /// Virtual mode calendar.
-    cal: Mutex<Calendar>,
+    cal: TrackedMutex<Calendar>,
     /// Lines that fit in one bucket (device bandwidth × bucket width).
     lines_per_bucket: u32,
     /// Spin mode: available permits.
-    permits: Mutex<usize>,
-    cv: Condvar,
+    permits: TrackedMutex<usize>,
+    cv: TrackedCondvar,
     n: usize,
 }
 
@@ -73,12 +74,19 @@ impl BandwidthGate {
         let bytes_per_bucket = bandwidth_bytes_per_sec as u128 * BUCKET_NS as u128 / 1_000_000_000;
         let lines_per_bucket = (bytes_per_bucket / crate::CACHELINE as u128).max(1) as u32;
         BandwidthGate {
-            cal: Mutex::new(Calendar::default()),
+            cal: TrackedMutex::new(Site::NvmmGate, Calendar::default()),
             lines_per_bucket,
-            permits: Mutex::new(n),
-            cv: Condvar::new(),
+            permits: TrackedMutex::new(Site::NvmmGate, n),
+            cv: TrackedCondvar::new(),
             n,
         }
+    }
+
+    /// Connects the gate's locks to a contention table (first caller
+    /// wins). `SimEnv::new` calls this right after construction.
+    pub fn attach_contention(&self, table: &Arc<ContentionTable>) {
+        self.cal.attach(table);
+        self.permits.attach(table);
     }
 
     /// Number of writer slots (spin mode).

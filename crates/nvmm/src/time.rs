@@ -15,6 +15,8 @@ use std::cell::Cell;
 use std::sync::Arc;
 use std::time::Instant;
 
+use obsv::{ContentionTable, Site};
+
 use crate::cost::CostModel;
 use crate::gate::BandwidthGate;
 use crate::ledger::{self, Cat};
@@ -41,17 +43,31 @@ pub struct SimEnv {
     cost: CostModel,
     epoch: Instant,
     gate: BandwidthGate,
+    /// The machine's lock-contention and stall profiler. Every tracked
+    /// lock on this machine attaches to it, so one bench cell (one
+    /// `SimEnv`) owns exactly one contention timeline.
+    contention: Arc<ContentionTable>,
 }
 
 impl SimEnv {
     /// Creates an environment in the given mode with the given cost model.
     pub fn new(mode: TimeMode, cost: CostModel) -> Arc<Self> {
+        let epoch = Instant::now();
+        // The profiler reads the same clock the environment serves:
+        // per-thread logical ns in virtual mode, wall ns since the epoch
+        // in spin mode. It only reads — profiling never advances time.
+        let contention = Arc::new(match mode {
+            TimeMode::Virtual => ContentionTable::new(|| NOW.with(|n| n.get())),
+            TimeMode::Spin => ContentionTable::new(move || epoch.elapsed().as_nanos() as u64),
+        });
         let gate = BandwidthGate::new(cost.writer_slots(), cost.nvmm_write_bandwidth);
+        gate.attach_contention(&contention);
         Arc::new(SimEnv {
             mode,
             cost,
-            epoch: Instant::now(),
+            epoch,
             gate,
+            contention,
         })
     }
 
@@ -78,6 +94,11 @@ impl SimEnv {
     /// The NVMM write-bandwidth gate.
     pub fn gate(&self) -> &BandwidthGate {
         &self.gate
+    }
+
+    /// The machine's lock-contention and stall profiler.
+    pub fn contention(&self) -> &Arc<ContentionTable> {
+        &self.contention
     }
 
     /// Current time in nanoseconds: the thread's logical clock in virtual
@@ -155,6 +176,7 @@ impl SimEnv {
     /// device instead of queueing behind setup traffic.
     pub fn rebase(&self) {
         self.gate.reset();
+        self.contention.reset();
         self.set_now(0);
     }
 
@@ -177,6 +199,14 @@ impl SimEnv {
                     now = self.gate.admit(now, line_ns);
                 }
                 ledger::add(cat, now - start);
+                // Queueing delay beyond pure service time is bandwidth
+                // throttling: attribute it as an explicit stall site
+                // (this only *records* — the clock advance below is the
+                // same with profiling on or off).
+                let queued = (now - start).saturating_sub(line_ns * lines as u64);
+                if queued > 0 {
+                    self.contention.stall(Site::StallThrottle, queued);
+                }
                 NOW.with(|n| n.set(now));
             }
             TimeMode::Spin => {

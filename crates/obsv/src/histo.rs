@@ -74,6 +74,17 @@ impl Histo {
         self.max.fetch_max(v, Ordering::Relaxed);
     }
 
+    /// Zeroes every bucket, the sum and the max. For quiescent rebasing
+    /// (timeline resets); racing recorders are not torn, merely split
+    /// across the reset.
+    pub fn reset(&self) {
+        for b in self.buckets.iter() {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+
     /// Point-in-time copy of the distribution.
     pub fn snapshot(&self) -> HistoSnapshot {
         let buckets: Vec<u64> = self

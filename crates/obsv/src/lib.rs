@@ -16,12 +16,18 @@
 //! instrumentation in the file systems costs one relaxed atomic load per
 //! hook.
 
+mod contention;
 mod histo;
 mod registry;
 mod snapshot;
 mod span;
 mod trace;
 
+pub use contention::{
+    ContentionSnapshot, ContentionTable, Level, Site, SiteSnapshot, TrackedCondvar, TrackedMutex,
+    TrackedMutexGuard, TrackedReadGuard, TrackedRwLock, TrackedWriteGuard, WaitTimeoutResult,
+    ALL_SITES, NSITES,
+};
 pub use histo::{bucket_of, bucket_upper, Histo, HistoSnapshot, N_BUCKETS, SUB_BUCKETS};
 pub use registry::{Counter, MetricSource, MetricsRegistry, RegistrySnapshot, Visitor};
 pub use snapshot::{
@@ -32,8 +38,39 @@ pub use snapshot::{
 pub use span::{row_label, Phase, SpanSnapshot, SpanTable, ALL_PHASES, BG_ROW, NPHASES, SPAN_ROWS};
 pub use trace::{TraceEvent, TraceRecord, TraceRing};
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+
+/// Shards used by the per-thread collection structures (the slow-op log
+/// here, the trace ring's segments). A power of two so `ordinal %
+/// SHARDS` is a mask.
+pub const COLLECTION_SHARDS: usize = 8;
+
+static THREAD_COUNTER: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static THREAD_ORDINAL: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+/// A small dense id for the calling thread: 0 for the first thread that
+/// asks, 1 for the next, and so on for the life of the process. Cached
+/// in a thread-local, so the steady-state cost is one TLS read. Shard
+/// selectors take this modulo their shard count — single-threaded runs
+/// therefore always land in shard 0, which keeps them bit-identical to
+/// the unsharded layout.
+#[inline]
+pub fn thread_ordinal() -> usize {
+    THREAD_ORDINAL.with(|o| {
+        let v = o.get();
+        if v != usize::MAX {
+            return v;
+        }
+        let v = THREAD_COUNTER.fetch_add(1, Ordering::Relaxed);
+        o.set(v);
+        v
+    })
+}
 
 /// Syscall categories tracked per file system (the Fig 12 breakdown uses
 /// `Read`, `Write`, `Unlink` and `Fsync`).
@@ -111,7 +148,10 @@ const SLOW_CAP: usize = 16;
 pub struct FsObs {
     timing: AtomicBool,
     ops: [Histo; NOPS],
-    slow: Mutex<Vec<SlowOp>>,
+    /// Top-k slowest ops, sharded per thread ordinal so concurrent
+    /// recorders never serialize on one mutex; [`FsObs::slowest`] merges
+    /// the shards (the global top-k survives per-shard top-k pruning).
+    slow: [Mutex<Vec<SlowOp>>; COLLECTION_SHARDS],
     /// The structured event ring, shared with subsystems (journal) that
     /// emit into the same timeline.
     pub trace: Arc<TraceRing>,
@@ -136,7 +176,7 @@ impl FsObs {
         FsObs {
             timing: AtomicBool::new(false),
             ops: std::array::from_fn(|_| Histo::new()),
-            slow: Mutex::new(Vec::with_capacity(SLOW_CAP)),
+            slow: std::array::from_fn(|_| Mutex::new(Vec::with_capacity(SLOW_CAP))),
             trace: Arc::new(TraceRing::new(trace_capacity)),
             spans: OnceLock::new(),
             audit_checks: AtomicU64::new(0),
@@ -199,7 +239,9 @@ impl FsObs {
     /// timing is enabled).
     pub fn record_op(&self, op: OpKind, ns: u64, at_ns: u64) {
         self.ops[op as usize].record(ns);
-        let mut slow = self.slow.lock().unwrap();
+        let mut slow = self.slow[thread_ordinal() % COLLECTION_SHARDS]
+            .lock()
+            .unwrap();
         if slow.len() < SLOW_CAP {
             slow.push(SlowOp { ns, op, at_ns });
         } else if let Some(min) = slow.iter_mut().min_by_key(|s| s.ns) {
@@ -214,10 +256,17 @@ impl FsObs {
         &self.ops[op as usize]
     }
 
-    /// The slowest recorded ops, slowest first.
+    /// The slowest recorded ops, slowest first. Merges the per-thread
+    /// shards: any globally-top-k op necessarily survives its own
+    /// shard's top-k pruning, so the merge is exact.
     pub fn slowest(&self) -> Vec<SlowOp> {
-        let mut v = self.slow.lock().unwrap().clone();
+        let mut v: Vec<SlowOp> = self
+            .slow
+            .iter()
+            .flat_map(|shard| shard.lock().unwrap().clone())
+            .collect();
         v.sort_by_key(|s| std::cmp::Reverse(s.ns));
+        v.truncate(SLOW_CAP);
         v
     }
 }

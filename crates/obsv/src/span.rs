@@ -273,6 +273,15 @@ impl SpanTable {
     }
 }
 
+/// The calling thread's current span-matrix row: the op set by the
+/// innermost enclosing [`SpanTable::op_scope`], or [`BG_ROW`] outside
+/// any op (or while spans are disabled — `op_scope` only switches the
+/// row when enabled). The contention layer reads this to attribute
+/// waits and holds to the op being served.
+pub(crate) fn current_row() -> usize {
+    TLS.with(|t| t.borrow().row)
+}
+
 /// Pushes a timing frame; returns whether it fit in the fixed stack.
 fn push_frame(start: u64) -> bool {
     TLS.with(|t| {

@@ -454,19 +454,46 @@ impl Slot {
     }
 }
 
+/// One per-thread-shard ring segment: its own slot cursor, so threads in
+/// different segments never race on slot placement.
+struct Segment {
+    cursor: AtomicU64,
+    slots: Box<[Slot]>,
+}
+
+impl Segment {
+    fn new(capacity: usize) -> Segment {
+        Segment {
+            cursor: AtomicU64::new(0),
+            slots: (0..capacity).map(|_| Slot::new()).collect(),
+        }
+    }
+}
+
 /// The ring. See the module docs for the concurrency protocol.
+///
+/// Storage is split into [`crate::COLLECTION_SHARDS`] per-thread-shard
+/// segments, each holding `capacity` slots: a writer picks its segment
+/// by thread ordinal and a slot by the segment's own cursor, so
+/// concurrent writers on different threads never contend for a slot.
+/// Global emit order is still a single ticket counter, stored in each
+/// slot's sequence word — [`TraceRing::tail`] merges the segments by
+/// sequence at read time. A single-threaded writer always lands in
+/// segment 0, making its retention behaviour identical to an unsharded
+/// ring of the same capacity.
 pub struct TraceRing {
     enabled: AtomicBool,
     next: AtomicU64,
     dropped: AtomicU64,
-    slots: Box<[Slot]>,
+    segments: Box<[Segment]>,
 }
 
 impl std::fmt::Debug for TraceRing {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("TraceRing")
             .field("enabled", &self.enabled())
-            .field("capacity", &self.slots.len())
+            .field("capacity", &self.capacity())
+            .field("segments", &self.segments.len())
             .field("emitted", &self.emitted())
             .field("dropped", &self.dropped())
             .finish()
@@ -474,14 +501,16 @@ impl std::fmt::Debug for TraceRing {
 }
 
 impl TraceRing {
-    /// A disabled ring holding up to `capacity` events.
+    /// A disabled ring holding up to `capacity` events *per segment*.
     pub fn new(capacity: usize) -> TraceRing {
         assert!(capacity > 0, "trace ring needs at least one slot");
         TraceRing {
             enabled: AtomicBool::new(false),
             next: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
-            slots: (0..capacity).map(|_| Slot::new()).collect(),
+            segments: (0..crate::COLLECTION_SHARDS)
+                .map(|_| Segment::new(capacity))
+                .collect(),
         }
     }
 
@@ -509,7 +538,9 @@ impl TraceRing {
     /// Unconditionally records an event (even while disabled).
     pub fn push(&self, at_ns: u64, ev: TraceEvent) {
         let ticket = self.next.fetch_add(1, Ordering::Relaxed);
-        let slot = &self.slots[(ticket % self.slots.len() as u64) as usize];
+        let seg = &self.segments[crate::thread_ordinal() % self.segments.len()];
+        let idx = seg.cursor.fetch_add(1, Ordering::Relaxed) % seg.slots.len() as u64;
+        let slot = &seg.slots[idx as usize];
         let cur = slot.seq.load(Ordering::Relaxed);
         if cur % 2 == 1
             || slot
@@ -541,9 +572,10 @@ impl TraceRing {
         self.dropped.load(Ordering::Relaxed)
     }
 
-    /// Slot count.
+    /// Slot count per segment (the retention window of one thread
+    /// shard).
     pub fn capacity(&self) -> usize {
-        self.slots.len()
+        self.segments[0].slots.len()
     }
 
     /// The most recent `n` retained events as JSONL, oldest first: one
@@ -557,11 +589,12 @@ impl TraceRing {
         out
     }
 
-    /// The most recent `n` events, oldest first. Concurrent writers may
-    /// cause individual slots to be skipped, never torn reads.
+    /// The most recent `n` events, oldest first, merged across every
+    /// segment by global sequence. Concurrent writers may cause
+    /// individual slots to be skipped, never torn reads.
     pub fn tail(&self, n: usize) -> Vec<TraceRecord> {
-        let mut out: Vec<TraceRecord> = Vec::with_capacity(self.slots.len());
-        for slot in self.slots.iter() {
+        let mut out: Vec<TraceRecord> = Vec::with_capacity(self.capacity());
+        for slot in self.segments.iter().flat_map(|seg| seg.slots.iter()) {
             let s1 = slot.seq.load(Ordering::Acquire);
             if s1 == 0 || s1 % 2 == 1 {
                 continue;

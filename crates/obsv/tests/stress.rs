@@ -2,7 +2,94 @@
 
 use std::sync::Arc;
 
-use obsv::{Histo, MetricsRegistry, TraceEvent, TraceRing};
+use obsv::{
+    ContentionTable, Histo, Level, MetricsRegistry, Site, TraceEvent, TraceRing, TrackedMutex,
+};
+
+/// With per-thread segments sized to hold every event, nothing is lost:
+/// the merged tail carries each writer's full output and the global
+/// sequence numbers come back gap-free and strictly increasing.
+#[test]
+fn trace_ring_loses_nothing_within_segment_capacity() {
+    const WRITERS: u64 = 8;
+    const EACH: u64 = 512;
+    // One segment can absorb every event even if all writers collide on
+    // the same thread-ordinal shard.
+    let ring = Arc::new(TraceRing::new((WRITERS * EACH) as usize));
+    ring.set_enabled(true);
+    let threads: Vec<_> = (0..WRITERS)
+        .map(|w| {
+            let ring = ring.clone();
+            std::thread::spawn(move || {
+                for i in 0..EACH {
+                    ring.emit(w * EACH + i, || TraceEvent::ForegroundStall {
+                        ino: w << 32 | i,
+                    });
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    assert_eq!(ring.emitted(), WRITERS * EACH);
+    assert_eq!(ring.dropped(), 0, "no wrap, so no drops");
+    let tail = ring.tail((WRITERS * EACH) as usize);
+    assert_eq!(
+        tail.len(),
+        (WRITERS * EACH) as usize,
+        "every event retained"
+    );
+    let mut seen = vec![0u64; WRITERS as usize];
+    for (expect, rec) in tail.iter().enumerate() {
+        assert_eq!(rec.seq, expect as u64, "merged sequence is gap-free");
+        match rec.ev {
+            TraceEvent::ForegroundStall { ino } => {
+                let w = (ino >> 32) as usize;
+                seen[w] += 1;
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+    assert_eq!(seen, vec![EACH; WRITERS as usize], "no writer lost events");
+}
+
+/// A tracked mutex hammered from many threads at [`Level::Full`] keeps
+/// exact books: the guarded counter, the acquisition count, and the
+/// wait-sample/contended invariant all agree after the dust settles.
+#[test]
+fn tracked_mutex_books_stay_exact_under_contention() {
+    const THREADS: u64 = 8;
+    const EACH: u64 = 5_000;
+    let table = Arc::new(ContentionTable::new(|| 0));
+    table.set_level(Level::Full);
+    let m = Arc::new(TrackedMutex::new(Site::FskitFdtable, 0u64));
+    m.attach(&table);
+    let threads: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let m = m.clone();
+            std::thread::spawn(move || {
+                for _ in 0..EACH {
+                    *m.lock() += 1;
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    assert_eq!(*m.lock(), THREADS * EACH);
+    let snap = table.snapshot();
+    let site = snap.site(Site::FskitFdtable);
+    assert_eq!(site.acquisitions, THREADS * EACH + 1);
+    assert!(site.contended <= site.acquisitions);
+    assert_eq!(
+        site.wait.count(),
+        site.contended,
+        "every contended acquire leaves exactly one wait sample"
+    );
+    assert_eq!(site.hold.count(), site.acquisitions);
+}
 
 #[test]
 fn trace_ring_concurrent_writers_stay_consistent() {

@@ -8,7 +8,7 @@
 
 use fskit::{FsError, Result};
 use nvmm::{Cat, NvmmDevice, BLOCK_SIZE};
-use parking_lot::Mutex;
+use obsv::{Site, TrackedMutex};
 
 use crate::layout::Layout;
 
@@ -25,7 +25,7 @@ struct Inner {
 /// DRAM-resident block allocator over the data area.
 #[derive(Debug)]
 pub struct Allocator {
-    inner: Mutex<Inner>,
+    inner: TrackedMutex<Inner>,
     /// Device whose fault-injection hook is consulted on `alloc` (attached
     /// at mount; absent in unit tests that build the allocator bare).
     fault_dev: std::sync::OnceLock<std::sync::Arc<NvmmDevice>>,
@@ -48,14 +48,16 @@ impl Allocator {
         }
         inner.free = layout.data_blocks();
         Allocator {
-            inner: Mutex::new(inner),
+            inner: TrackedMutex::new(Site::PmfsAlloc, inner),
             fault_dev: std::sync::OnceLock::new(),
         }
     }
 
     /// Attaches the device whose fault-injection plan `alloc` consults
-    /// (ENOSPC injection). Later calls are ignored.
+    /// (ENOSPC injection), and wires the allocator's lock to the device's
+    /// contention profiler. Later calls are ignored.
     pub fn attach_fault_device(&self, dev: std::sync::Arc<NvmmDevice>) {
+        self.inner.attach(dev.contention());
         let _ = self.fault_dev.set(dev);
     }
 
@@ -168,13 +170,16 @@ impl Allocator {
             }
         }
         Allocator {
-            inner: Mutex::new(Inner {
-                bitmap,
-                free: layout.data_blocks() - used,
-                hint: layout.data_start,
-                data_start: layout.data_start,
-                total_blocks: layout.total_blocks,
-            }),
+            inner: TrackedMutex::new(
+                Site::PmfsAlloc,
+                Inner {
+                    bitmap,
+                    free: layout.data_blocks() - used,
+                    hint: layout.data_start,
+                    data_start: layout.data_start,
+                    total_blocks: layout.total_blocks,
+                },
+            ),
             fault_dev: std::sync::OnceLock::new(),
         }
     }

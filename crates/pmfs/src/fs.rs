@@ -15,8 +15,7 @@ use fskit::{
     DirEntry, Fd, FdTable, FileSystem, FileType, FsError, MmapHandle, OpenFlags, Result, Stat,
 };
 use nvmm::{Cat, NvmmDevice, SimEnv};
-use obsv::{FsObs, OpKind};
-use parking_lot::Mutex;
+use obsv::{FsObs, OpKind, Site, TrackedMutex};
 
 use crate::alloc::Allocator;
 use crate::dir;
@@ -65,7 +64,7 @@ pub struct Pmfs {
     alloc: Allocator,
     icache: InodeCache,
     fds: FdTable<OpenFile>,
-    ns: Mutex<()>,
+    ns: TrackedMutex<()>,
     recovery: RecoveryStats,
     obs: Arc<FsObs>,
 }
@@ -109,6 +108,9 @@ impl Pmfs {
         let env = dev.env().clone();
         let obs = Arc::new(FsObs::default());
         obs.set_spans(dev.spans().clone());
+        let fds = FdTable::new();
+        fds.attach_contention(dev.contention());
+        let ns = TrackedMutex::attached(dev.contention(), Site::PmfsNamespace, ());
         Ok(Arc::new(Pmfs {
             dev,
             env,
@@ -116,8 +118,8 @@ impl Pmfs {
             journal,
             alloc,
             icache,
-            fds: FdTable::new(),
-            ns: Mutex::new(()),
+            fds,
+            ns,
             recovery,
             obs,
         }))

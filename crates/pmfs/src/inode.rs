@@ -10,6 +10,7 @@ use std::sync::Arc;
 
 use fskit::{FileType, FsError, Result};
 use nvmm::{Cat, NvmmDevice};
+use obsv::{Site, TrackedMutex};
 use parking_lot::{Mutex, RwLock};
 
 use crate::layout::Layout;
@@ -108,8 +109,8 @@ pub struct InodeHandle {
 /// Cache of in-memory inode handles plus the free-slot list.
 #[derive(Debug)]
 pub struct InodeCache {
-    map: Mutex<HashMap<u64, Arc<InodeHandle>>>,
-    free_slots: Mutex<Vec<u64>>,
+    map: TrackedMutex<HashMap<u64, Arc<InodeHandle>>>,
+    free_slots: TrackedMutex<Vec<u64>>,
 }
 
 impl InodeCache {
@@ -125,9 +126,10 @@ impl InodeCache {
                 free.push(ino);
             }
         }
+        let contention = dev.contention();
         Ok(InodeCache {
-            map: Mutex::new(HashMap::new()),
-            free_slots: Mutex::new(free),
+            map: TrackedMutex::attached(contention, Site::PmfsInodeMap, HashMap::new()),
+            free_slots: TrackedMutex::attached(contention, Site::PmfsInodeMap, free),
         })
     }
 

@@ -33,8 +33,7 @@ use std::sync::{Arc, OnceLock};
 
 use fskit::{FsError, Result};
 use nvmm::{Cat, NvmmDevice, BLOCK_SIZE, CACHELINE};
-use obsv::{Phase, TraceEvent, TraceRing};
-use parking_lot::Mutex;
+use obsv::{Phase, Site, TraceEvent, TraceRing, TrackedMutex};
 
 use crate::layout::Layout;
 
@@ -204,7 +203,7 @@ pub struct Journal {
     area: u64,
     /// Region capacity in entries (one generation's budget).
     capacity: u64,
-    inner: Mutex<JInner>,
+    inner: TrackedMutex<JInner>,
     stats: Arc<JournalStats>,
     /// Trace ring shared with the owning file system, installed after
     /// mount (commits then appear on the same timeline as writeback).
@@ -237,16 +236,20 @@ impl Journal {
             area: hdr + BLOCK_SIZE as u64,
             hdr,
             capacity,
-            dev,
-            inner: Mutex::new(JInner {
-                head: 0,
-                tail: 0,
-                gen,
-                next_txid: 1,
-                txs: VecDeque::new(),
-            }),
+            inner: TrackedMutex::attached(
+                dev.contention(),
+                Site::PmfsJournal,
+                JInner {
+                    head: 0,
+                    tail: 0,
+                    gen,
+                    next_txid: 1,
+                    txs: VecDeque::new(),
+                },
+            ),
             stats: Arc::new(JournalStats::new()),
             trace: OnceLock::new(),
+            dev,
         })
     }
 

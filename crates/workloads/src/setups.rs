@@ -7,7 +7,7 @@ use extfs::{ExtMode, ExtOptions, Extfs};
 use fskit::{FileSystem, Result};
 use hinfs::{Hinfs, HinfsConfig};
 use nvmm::{CostModel, NvmmDevice, SimEnv, TimeMode, BLOCK_SIZE};
-use obsv::{FsObs, MetricsRegistry};
+use obsv::{FsObs, Level, MetricsRegistry};
 use pmfs::{Pmfs, PmfsOptions};
 
 /// The systems of the evaluation.
@@ -92,6 +92,10 @@ pub struct SystemConfig {
     /// Run the online invariant auditor at every fsync and writeback pass
     /// (HiNFS only; off by default — it walks the whole buffer pool).
     pub obsv_audit: bool,
+    /// Record lock wait/hold times and stall attribution in the machine's
+    /// contention profiler (off by default: the disabled profiler costs
+    /// one relaxed load per lock acquisition).
+    pub obsv_contention: bool,
 }
 
 impl Default for SystemConfig {
@@ -108,6 +112,7 @@ impl Default for SystemConfig {
             obsv_trace: false,
             obsv_spans: false,
             obsv_audit: false,
+            obsv_contention: false,
         }
     }
 }
@@ -228,6 +233,12 @@ pub fn build(kind: SystemKind, cfg: &SystemConfig) -> Result<System> {
         obs.set_tracing(cfg.obsv_trace);
     }
     dev.spans().set_enabled(cfg.obsv_spans);
+    env.contention().set_level(if cfg.obsv_contention {
+        Level::Full
+    } else {
+        Level::Off
+    });
+    registry.register("", env.contention().clone());
     Ok(System {
         kind,
         fs,
@@ -318,6 +329,12 @@ pub fn remount_with(
         obs.set_tracing(cfg.obsv_trace);
     }
     dev.spans().set_enabled(cfg.obsv_spans);
+    env.contention().set_level(if cfg.obsv_contention {
+        Level::Full
+    } else {
+        Level::Off
+    });
+    registry.register("", env.contention().clone());
     Ok(System {
         kind,
         fs,
@@ -433,6 +450,99 @@ mod tests {
         assert!(rep.is_clean(), "{rep:?}");
     }
 
+    #[test]
+    fn contention_flag_profiles_lock_sites() {
+        let cfg = SystemConfig {
+            obsv_contention: true,
+            ..SystemConfig::small()
+        };
+        let sys = build(SystemKind::Hinfs, &cfg).unwrap();
+        assert_eq!(sys.env.contention().level(), Level::Full);
+        let fd = sys
+            .fs
+            .open("/c", OpenFlags::RDWR | OpenFlags::CREATE)
+            .unwrap();
+        sys.fs.write(fd, 0, &[9u8; 4096]).unwrap();
+        sys.fs.fsync(fd).unwrap();
+        sys.fs.close(fd).unwrap();
+        let snap = sys.env.contention().snapshot();
+        let pool = snap.site(obsv::Site::HinfsBufferPool);
+        assert!(pool.acquisitions > 0, "buffer-pool lock was profiled");
+        let reg = sys.registry.snapshot();
+        assert!(
+            reg.counter("obsv_site_hinfs_buffer_pool_acquisitions") > 0,
+            "contention table feeds the registry: {:?}",
+            reg.counters
+                .keys()
+                .filter(|k| k.starts_with("obsv_site"))
+                .collect::<Vec<_>>()
+        );
+        // Off by default: a plain build records nothing.
+        let quiet = build(SystemKind::Hinfs, &SystemConfig::small()).unwrap();
+        assert_eq!(quiet.env.contention().level(), Level::Off);
+    }
+
+    /// A `threads=1` workload run stays bit-identical with contention
+    /// tracking at [`Level::Full`]: the profiler only reads the virtual
+    /// clock (it never advances it), collection lands in shard 0, and the
+    /// site books come out the same on every run.
+    #[test]
+    fn threads1_contention_run_is_bit_identical() {
+        use crate::filebench::{FilebenchParams, Fileserver};
+        use crate::fileset::{Fileset, FilesetSpec};
+        use crate::runner::{RunLimit, Runner};
+
+        // elapsed_ns plus (acquisitions, contended, wait sum/count,
+        // hold sum/count) per site.
+        type Books = Vec<[u64; 6]>;
+        fn run_once() -> (u64, Books) {
+            let cfg = SystemConfig {
+                obsv_contention: true,
+                ..SystemConfig::small()
+            };
+            let sys = build(SystemKind::Hinfs, &cfg).unwrap();
+            let set =
+                Fileset::populate(&*sys.fs, FilesetSpec::new("/data", 20, 4, 8 << 10), 11).unwrap();
+            sys.env.rebase();
+            let actor = Fileserver::new(
+                set,
+                FilebenchParams {
+                    iosize: 16 << 10,
+                    append_size: 4 << 10,
+                },
+            );
+            let runner = Runner::new(sys.env.clone(), sys.fs.clone()).with_device(sys.dev.clone());
+            let r = runner.run(vec![Box::new(actor)], RunLimit::steps(40), 7);
+            let books = sys
+                .env
+                .contention()
+                .snapshot()
+                .sites
+                .iter()
+                .map(|s| {
+                    [
+                        s.acquisitions,
+                        s.contended,
+                        s.wait.sum(),
+                        s.wait.count(),
+                        s.hold.sum(),
+                        s.hold.count(),
+                    ]
+                })
+                .collect();
+            (r.elapsed_ns, books)
+        }
+
+        let (e1, b1) = run_once();
+        let (e2, b2) = run_once();
+        assert_eq!(e1, e2, "virtual time unchanged by the profiler");
+        assert_eq!(b1, b2, "per-site books are bit-identical");
+        assert!(
+            b1.iter().any(|b| b[0] > 0),
+            "the run actually exercised tracked locks"
+        );
+    }
+
     /// Every registry metric name is snake_case and carries one of the
     /// known subsystem prefixes, across fully-enabled builds of every
     /// system kind.
@@ -444,6 +554,7 @@ mod tests {
             obsv_trace: true,
             obsv_spans: true,
             obsv_audit: true,
+            obsv_contention: true,
             ..SystemConfig::small()
         };
         for kind in [

@@ -14,6 +14,7 @@
 //! cargo run --example fs_inspect -- --top             # periodic snapshots over the run
 //! cargo run --example fs_inspect -- --audit           # + online invariant audit
 //! cargo run --example fs_inspect -- --system pmfs     # pmfs | ext4-dax | ext2 | ext4 | hinfs
+//! cargo run --example fs_inspect -- --contention      # + top lock/stall sites by wait time
 //! ```
 //!
 //! Exit status is non-zero when `--audit` finds a violation or when the
@@ -139,6 +140,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let top = args.iter().any(|a| a == "--top");
     let audit = args.iter().any(|a| a == "--audit");
+    let contention = args.iter().any(|a| a == "--contention");
     let kind = args
         .iter()
         .position(|a| a == "--system")
@@ -148,6 +150,7 @@ fn main() {
 
     let cfg = SystemConfig {
         obsv_audit: audit,
+        obsv_contention: contention,
         ..SystemConfig::small()
     };
     let sys = build(kind, &cfg).expect("build system");
@@ -175,6 +178,21 @@ fn main() {
     let snap = full_snapshot(&sys);
     if !top {
         println!("{}", snap.to_json());
+    }
+
+    if contention {
+        let csnap = sys.env.contention().snapshot();
+        eprintln!("contention: top sites by wait time");
+        for site in csnap.top_by_wait(8) {
+            eprintln!(
+                "  {:<20} acquisitions={} contended={} wait_ns={} hold_ns={}",
+                site.site.label(),
+                site.acquisitions,
+                site.contended,
+                site.wait.sum(),
+                site.hold.sum()
+            );
+        }
     }
 
     let mut failed = false;

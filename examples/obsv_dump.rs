@@ -5,13 +5,15 @@
 //! crossings, writeback reclaim passes, BBM flips, journal commits).
 //!
 //! ```text
-//! cargo run --example obsv_dump [-- --json]
+//! cargo run --example obsv_dump [-- --json] [-- --contention]
 //! ```
 //!
 //! With `--json` the trace-ring section is emitted as JSONL (one
 //! `TraceRecord::to_json` object per line, the same exporter the ring
 //! itself provides) instead of the human-readable digest, so the event
-//! stream can be piped straight into `jq`.
+//! stream can be piped straight into `jq`. With `--contention` the
+//! lock-contention and stall profile is printed too: the top sites by
+//! wait time and each site's per-op wait/hold breakdown.
 
 use fskit::OpenFlags;
 use obsv::{row_label, OpKind, RegistrySnapshot, ALL_PHASES};
@@ -72,8 +74,49 @@ fn print_phase(name: &str, d: &RegistrySnapshot) {
     println!();
 }
 
+/// Prints the contention profile: top sites by wait time, then each
+/// touched site's Site x OpKind wait/hold breakdown.
+fn print_contention(snap: &obsv::ContentionSnapshot) {
+    println!("--- lock contention: top sites by wait ---");
+    println!(
+        "{:<20} {:>12} {:>10} {:>14} {:>14}",
+        "site", "acquisitions", "contended", "wait_ns", "hold_ns"
+    );
+    for site in snap.top_by_wait(10) {
+        println!(
+            "{:<20} {:>12} {:>10} {:>14} {:>14}",
+            site.site.label(),
+            site.acquisitions,
+            site.contended,
+            site.wait.sum(),
+            site.hold.sum()
+        );
+    }
+    println!();
+    println!("--- contention by op (wait/hold ns) ---");
+    for site in snap.touched() {
+        let mut cells = Vec::new();
+        for row in 0..obsv::SPAN_ROWS {
+            let (w, h) = (site.wait_by_op[row], site.hold_by_op[row]);
+            if w > 0 || h > 0 {
+                cells.push(format!(
+                    "{}={}/{}",
+                    obsv::ContentionSnapshot::op_label(row),
+                    w,
+                    h
+                ));
+            }
+        }
+        if !cells.is_empty() {
+            println!("  {:<20} {}", site.site.label(), cells.join("  "));
+        }
+    }
+    println!();
+}
+
 fn main() {
     let json = std::env::args().any(|a| a == "--json");
+    let contention = std::env::args().any(|a| a == "--contention");
     // A deliberately tiny DRAM buffer (1 MiB on a 128 MiB device) so the
     // postmark churn crosses the writeback watermarks and forces reclaim.
     let cfg = SystemConfig {
@@ -82,6 +125,7 @@ fn main() {
         obsv_trace: true,
         obsv_spans: true,
         obsv_audit: true,
+        obsv_contention: true,
         ..SystemConfig::small()
     };
     let sys = build(SystemKind::Hinfs, &cfg).expect("build hinfs");
@@ -208,6 +252,10 @@ fn main() {
         spans.row_total(obsv::BG_ROW)
     );
     println!();
+
+    if contention {
+        print_contention(&sys.env.contention().snapshot());
+    }
 
     // The retained trace window: as raw JSONL under `--json`, otherwise
     // per-kind totals, the last few events of each kind (so rare events

@@ -10,6 +10,11 @@
 # non-headline section are ignored, so two runs of the same build compare
 # clean even across commits.
 #
+# Forward compatibility: only keys present in the BASELINE are gated.
+# Candidate keys absent from the baseline (a new sweep dimension, a new
+# cell) WARN but never fail — they become gated once a baseline carrying
+# them is committed.
+#
 # Deliberately plain grep/awk: the documents keep one headline key per
 # line exactly so this gate has no JSON-parser dependency.
 set -euo pipefail
@@ -66,8 +71,16 @@ while read -r key bval; do
     fi
 done <<<"$base_keys"
 
+# New-key pass: candidate keys the baseline does not carry are reported
+# but never gated (the baseline predates them).
+while read -r key _cval; do
+    if ! awk -v k="$key" '$1 == k { found = 1 } END { exit !found }' <<<"$base_keys"; then
+        echo "bench_check: warn $key is new (not in baseline; not gated)"
+    fi
+done < <(extract "$cand")
+
 if [[ "$fail" -ne 0 ]]; then
     echo "bench_check: throughput regression beyond ${max_pct}%"
     exit 1
 fi
-echo "bench_check: OK (all headline throughputs within ${max_pct}%)"
+echo "bench_check: OK (all baseline headline throughputs within ${max_pct}%)"
