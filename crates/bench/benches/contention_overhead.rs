@@ -15,7 +15,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use fskit::OpenFlags;
 use nvmm::TimeMode;
 use obsv::{ContentionTable, Level, Site, TrackedMutex};
-use workloads::setups::{build, SystemConfig, SystemKind};
+use workloads::setups::{build, ObsvOptions, SystemConfig, SystemKind};
 
 fn table(level: Level) -> Arc<ContentionTable> {
     let t0 = std::time::Instant::now();
@@ -91,7 +91,11 @@ fn cfg(contention: bool) -> SystemConfig {
         cache_pages: 2048,
         journal_blocks: 256,
         inode_count: 8192,
-        obsv_contention: contention,
+        obsv: if contention {
+            ObsvOptions::none().with_contention()
+        } else {
+            ObsvOptions::none()
+        },
         ..SystemConfig::default()
     }
 }

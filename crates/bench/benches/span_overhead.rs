@@ -10,7 +10,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use fskit::OpenFlags;
 use nvmm::TimeMode;
 use obsv::{Phase, SpanTable};
-use workloads::setups::{build, SystemConfig, SystemKind};
+use workloads::setups::{build, ObsvOptions, SystemConfig, SystemKind};
 
 fn cfg(spans: bool) -> SystemConfig {
     SystemConfig {
@@ -20,7 +20,11 @@ fn cfg(spans: bool) -> SystemConfig {
         cache_pages: 2048,
         journal_blocks: 256,
         inode_count: 8192,
-        obsv_spans: spans,
+        obsv: if spans {
+            ObsvOptions::none().with_spans()
+        } else {
+            ObsvOptions::none()
+        },
         ..SystemConfig::default()
     }
 }

@@ -127,9 +127,10 @@ fn run_headline(p: Personality, kind: SystemKind, scale: &Scale) -> Headline {
     // whole document) only reflects this cell's run.
     nvmm::ledger::reset();
     let mut cfg = scale.system_config(nvmm::CostModel::default());
-    cfg.obsv_timing = true;
-    cfg.obsv_spans = true;
-    cfg.obsv_contention = true;
+    cfg.obsv = workloads::ObsvOptions::none()
+        .with_timing()
+        .with_spans()
+        .with_contention();
     let sys = build(kind, &cfg).expect("build system");
     let set = Fileset::populate(&*sys.fs, scale.fileset_spec(), 0xF11E).expect("populate fileset");
     sys.fs.unmount().expect("unmount after populate");
@@ -515,7 +516,7 @@ mod tests {
             "\"headline::fileserver::hinfs::ops_per_s\"",
             "\"op_latency\"",
             "\"contention\"",
-            "\"hinfs.buffer_pool\"",
+            "\"hinfs.shard0\"",
             "\"top_by_wait\"",
             "\"spans\"",
             "\"snapshot\"",

@@ -103,7 +103,7 @@ pub fn fig01_spans(scale: &Scale) -> Table {
     );
     for &iosize in &[64usize, 4 << 10, 64 << 10] {
         let mut cfg = scale.system_config(CostModel::default());
-        cfg.obsv_spans = true;
+        cfg.obsv = workloads::ObsvOptions::none().with_spans();
         let sys = workloads::setups::build(SystemKind::Pmfs, &cfg).expect("build pmfs");
         let params = FioParams::new("/fio-job", 16 << 20, iosize);
         Fio::setup(&*sys.fs, &params).expect("fio setup");
@@ -554,7 +554,7 @@ pub fn fig12_spans(scale: &Scale) -> Table {
     let profile = workloads::traces::USR0;
     for kind in [SystemKind::Pmfs, SystemKind::Hinfs] {
         let mut cfg = tscale.system_config(CostModel::default());
-        cfg.obsv_spans = true;
+        cfg.obsv = workloads::ObsvOptions::none().with_spans();
         let sys = workloads::setups::build(kind, &cfg).expect("build");
         let set = workloads::fileset::Fileset::populate(&*sys.fs, tscale.fileset_spec(), 0xF11E)
             .expect("populate");

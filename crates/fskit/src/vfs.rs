@@ -34,6 +34,26 @@ pub trait FileSystem: Send + Sync {
     /// Returns the number of bytes written.
     fn write(&self, fd: Fd, off: u64, data: &[u8]) -> Result<usize>;
 
+    /// Writes a gather list of slices as one contiguous run starting at
+    /// byte offset `off` (`pwritev(2)`). Returns the total number of
+    /// bytes written.
+    ///
+    /// The default forwards slice-by-slice through [`FileSystem::write`],
+    /// paying the full per-call cost for each slice. NVMM-aware
+    /// implementations override this to take their per-file locks and
+    /// open their journal transaction once for the whole vector.
+    fn write_vectored(&self, fd: Fd, off: u64, iovs: &[&[u8]]) -> Result<usize> {
+        let mut cur = off;
+        for iov in iovs {
+            let n = self.write(fd, cur, iov)?;
+            cur += n as u64;
+            if n < iov.len() {
+                break;
+            }
+        }
+        Ok((cur - off) as usize)
+    }
+
     /// Appends `data` at the end of the file, returning the offset the data
     /// landed at.
     fn append(&self, fd: Fd, data: &[u8]) -> Result<u64>;

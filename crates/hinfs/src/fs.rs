@@ -11,7 +11,11 @@
 //! - **fsync** flushes the file's dirty buffer blocks, commits its ordered
 //!   transactions, and feeds the Buffer Benefit Model.
 //!
-//! Lock order: inode `RwLock` → `shared` buffer mutex → journal mutex.
+//! Lock order: inode `RwLock` → buffer shard mutex → journal mutex. A
+//! file's buffered state lives entirely in shard `ino % cfg.shards`, so a
+//! per-file path holds at most one shard lock; only mount-wide sweeps
+//! (flush-all, introspection) visit several shards, and they do so one at
+//! a time, never nested.
 
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -34,7 +38,10 @@ pub struct Hinfs {
     pub(crate) inner: Arc<Pmfs>,
     pub(crate) env: Arc<SimEnv>,
     pub(crate) cfg: HinfsConfig,
-    pub(crate) shared: TrackedMutex<Shared>,
+    /// The buffer pool, split into independent shards keyed `ino % shards`
+    /// — a file's blocks, index, LRW position and open transactions all
+    /// live in exactly one shard, so per-file paths take one shard lock.
+    pub(crate) shards: Vec<TrackedMutex<Shared>>,
     pub(crate) stats: HinfsStats,
     pub(crate) obs: Arc<FsObs>,
     pub(crate) wb: WbCtl,
@@ -57,15 +64,21 @@ impl Hinfs {
 
     fn wrap(inner: Arc<Pmfs>, cfg: HinfsConfig) -> Result<Arc<Hinfs>> {
         let env = inner.env().clone();
+        let nshards = cfg.shards.max(1);
+        let shards = (0..nshards)
+            .map(|i| {
+                TrackedMutex::attached(
+                    env.contention(),
+                    Site::hinfs_shard(i),
+                    Shared::init(cfg.shard_blocks(i)),
+                )
+            })
+            .collect();
         let fs = Arc::new(Hinfs {
-            shared: TrackedMutex::attached(
-                env.contention(),
-                Site::HinfsBufferPool,
-                Shared::init(cfg.buffer_blocks()),
-            ),
+            shards,
             stats: HinfsStats::new(),
             obs: Arc::new(FsObs::default()),
-            wb: WbCtl::new(),
+            wb: WbCtl::new(nshards),
             inner,
             env,
             cfg,
@@ -126,6 +139,16 @@ impl Hinfs {
         self.inner.device()
     }
 
+    /// Index of the buffer shard owning `ino`.
+    pub(crate) fn shard_idx(&self, ino: u64) -> usize {
+        (ino % self.shards.len() as u64) as usize
+    }
+
+    /// The buffer shard owning `ino`.
+    pub(crate) fn shard(&self, ino: u64) -> &TrackedMutex<Shared> {
+        &self.shards[self.shard_idx(ino)]
+    }
+
     // ----- write path -----
 
     /// Headroom (in 64 B entries) a single inode-core transaction needs:
@@ -184,7 +207,12 @@ impl Hinfs {
         }
     }
 
-    fn write_impl(&self, fd: Fd, off_req: u64, data: &[u8], append: bool) -> Result<u64> {
+    /// The shared write path: a gather list of slices lands as one
+    /// contiguous run at `off_req` (or EOF in append mode). One syscall
+    /// charge, one inode write lock, one metadata journal transaction and
+    /// one watermark check cover the whole vector — `write`/`append` pass
+    /// a single slice, `write_vectored` passes the caller's iovec.
+    fn write_impl(&self, fd: Fd, off_req: u64, iovs: &[&[u8]], append: bool) -> Result<u64> {
         self.env.charge_syscall();
         let of = self.inner.open_file(fd)?;
         if !of.flags.writable() {
@@ -198,11 +226,12 @@ impl Hinfs {
         } else {
             off_req
         };
-        if data.is_empty() {
+        let total: u64 = iovs.iter().map(|s| s.len() as u64).sum();
+        if total == 0 {
             return Ok(off);
         }
         let end = off
-            .checked_add(data.len() as u64)
+            .checked_add(total)
             .filter(|&e| e <= pmfs::file::MAX_FILE_SIZE)
             .ok_or(FsError::FileTooLarge)?;
         let now = self.env.now();
@@ -219,14 +248,14 @@ impl Hinfs {
             let bblk = old_size / BLOCK_SIZE as u64;
             let gap_end = off.min((bblk + 1) * BLOCK_SIZE as u64);
             let materialized = {
-                let sh = self.shared.lock();
+                let sh = self.shard(ino).lock();
                 sh.slot_of(ino, bblk).is_some()
             } || pmfs::tree::lookup(self.dev(), state, bblk).is_some();
             if materialized && gap_end > old_size {
                 let in_blk = (old_size % BLOCK_SIZE as u64) as usize;
                 let zeros = vec![0u8; (gap_end - old_size) as usize];
                 self.buffered_write_chunk(ino, state, bblk, in_blk, &zeros, now)?;
-                let mut sh = self.shared.lock();
+                let mut sh = self.shard(ino).lock();
                 checker::record_write(
                     sh.file_mut(ino),
                     bblk,
@@ -236,65 +265,70 @@ impl Hinfs {
                 pending.insert(bblk);
             }
         }
-        let mut done = 0;
-        while done < data.len() {
-            let pos = off + done as u64;
-            let iblk = pos / BLOCK_SIZE as u64;
-            let in_blk = (pos % BLOCK_SIZE as u64) as usize;
-            let chunk = (BLOCK_SIZE - in_blk).min(data.len() - done);
-            let payload = &data[done..done + chunk];
-            let mask = range_mask(in_blk, chunk);
+        let mut done: u64 = 0;
+        for data in iovs {
+            let mut idone = 0;
+            while idone < data.len() {
+                let pos = off + done;
+                let iblk = pos / BLOCK_SIZE as u64;
+                let in_blk = (pos % BLOCK_SIZE as u64) as usize;
+                let chunk = (BLOCK_SIZE - in_blk).min(data.len() - idone);
+                let payload = &data[idone..idone + chunk];
+                let mask = range_mask(in_blk, chunk);
 
-            let eager = case1 || {
-                let mut sh = self.shared.lock();
-                checker::is_eager_block(&self.cfg, sh.file_mut(ino), iblk, now)
-            };
-            if !eager {
-                self.buffered_write_chunk(ino, state, iblk, in_blk, payload, now)?;
-                let mut sh = self.shared.lock();
-                checker::record_write(sh.file_mut(ino), iblk, mask, true);
-                HinfsStats::bump(&self.stats.lazy_writes, 1);
-                pending.insert(iblk);
-            } else {
-                // Eager-persistent: the block's data must be on NVMM when
-                // the write completes.
-                let mut absorbed = false;
-                {
-                    let mut sh = self.shared.lock();
-                    if let Some(slot) = sh.slot_of(ino, iblk) {
-                        if case1 {
-                            // Case 1 on a buffered block: apply the write
-                            // to DRAM, then explicitly evict (flush) it
-                            // before returning to the user (paper §3.3.2).
-                            let partial = mask & !covered_mask(in_blk, chunk);
-                            self.ensure_lines(&mut sh, slot, partial);
-                            self.apply_to_slot(&mut sh, slot, in_blk, payload, now);
-                            absorbed = true;
+                let eager = case1 || {
+                    let mut sh = self.shard(ino).lock();
+                    checker::is_eager_block(&self.cfg, sh.file_mut(ino), iblk, now)
+                };
+                if !eager {
+                    self.buffered_write_chunk(ino, state, iblk, in_blk, payload, now)?;
+                    let mut sh = self.shard(ino).lock();
+                    checker::record_write(sh.file_mut(ino), iblk, mask, true);
+                    HinfsStats::bump(&self.stats.lazy_writes, 1);
+                    pending.insert(iblk);
+                } else {
+                    // Eager-persistent: the block's data must be on NVMM
+                    // when the write completes.
+                    let mut absorbed = false;
+                    {
+                        let mut sh = self.shard(ino).lock();
+                        if let Some(slot) = sh.slot_of(ino, iblk) {
+                            if case1 {
+                                // Case 1 on a buffered block: apply the
+                                // write to DRAM, then explicitly evict
+                                // (flush) it before returning to the user
+                                // (paper §3.3.2).
+                                let partial = mask & !covered_mask(in_blk, chunk);
+                                self.ensure_lines(&mut sh, slot, partial);
+                                self.apply_to_slot(&mut sh, slot, in_blk, payload, now);
+                                absorbed = true;
+                            }
+                            // Either way the buffered copy leaves the buffer
+                            // so NVMM stays the single source of truth.
+                            let _ = self.evict_slot_locked(&mut sh, slot, Some(state))?;
                         }
-                        // Either way the buffered copy leaves the buffer so
-                        // NVMM stays the single source of truth.
-                        let _ = self.evict_slot_locked(&mut sh, slot, Some(state))?;
+                    }
+                    if !absorbed {
+                        pmfs::file::write_at(
+                            self.dev(),
+                            self.inner.allocator(),
+                            state,
+                            pos,
+                            payload,
+                            now,
+                        )?;
+                    }
+                    let mut sh = self.shard(ino).lock();
+                    checker::record_write(sh.file_mut(ino), iblk, mask, false);
+                    if case1 {
+                        HinfsStats::bump(&self.stats.sync_writes, 1);
+                    } else {
+                        HinfsStats::bump(&self.stats.eager_writes, 1);
                     }
                 }
-                if !absorbed {
-                    pmfs::file::write_at(
-                        self.dev(),
-                        self.inner.allocator(),
-                        state,
-                        pos,
-                        payload,
-                        now,
-                    )?;
-                }
-                let mut sh = self.shared.lock();
-                checker::record_write(sh.file_mut(ino), iblk, mask, false);
-                if case1 {
-                    HinfsStats::bump(&self.stats.sync_writes, 1);
-                } else {
-                    HinfsStats::bump(&self.stats.eager_writes, 1);
-                }
+                idone += chunk;
+                done += chunk as u64;
             }
-            done += chunk;
         }
 
         if end > state.size {
@@ -311,7 +345,7 @@ impl Hinfs {
                 self.inner.journal().abort(tx);
                 return Err(e);
             }
-            let mut sh = self.shared.lock();
+            let mut sh = self.shard(ino).lock();
             // A reclaim may already have flushed some of this op's blocks
             // (pool pressure mid-write); only still-dirty blocks gate the
             // commit.
@@ -329,11 +363,12 @@ impl Hinfs {
         }
         drop(guard);
 
-        // Wake the background writeback when the pool runs low (Low_f).
+        // Wake the background writeback when the file's shard runs low
+        // (Low_f, applied to the shard's own capacity).
         let low = {
-            let sh = self.shared.lock();
+            let sh = self.shard(ino).lock();
             let free = sh.pool().free_count();
-            let low_mark = self.cfg.low_blocks();
+            let low_mark = self.cfg.low_blocks_of(sh.pool().capacity());
             if free < low_mark {
                 self.obs.trace.emit(now, || TraceEvent::WatermarkLow {
                     free: free as u64,
@@ -440,7 +475,7 @@ impl Hinfs {
             },
         );
         loop {
-            let mut sh = self.shared.lock();
+            let mut sh = self.shard(ino).lock();
             if let Some(slot) = sh.slot_of(ino, iblk) {
                 HinfsStats::bump(&self.stats.buffer_hits, 1);
                 let fetch_need = if self.cfg.clfw {
@@ -466,7 +501,7 @@ impl Hinfs {
                     .trace
                     .emit(now, || TraceEvent::ForegroundStall { ino });
                 let t0 = self.env.now();
-                self.reclaim(1, Some((ino, state)), false);
+                self.reclaim(self.shard_idx(ino), 1, Some((ino, state)), false);
                 self.note_stall(Site::StallWriteback, t0);
                 continue;
             };
@@ -512,7 +547,7 @@ impl Hinfs {
             let in_blk = (pos % BLOCK_SIZE as u64) as usize;
             let chunk = (BLOCK_SIZE - in_blk).min(n - done);
             let out = &mut buf[done..done + chunk];
-            let sh = self.shared.lock();
+            let sh = self.shard(of.ino).lock();
             match sh.slot_of(of.ino, iblk) {
                 Some(slot) => {
                     self.inner.device().spans().scope(
@@ -582,7 +617,7 @@ impl Hinfs {
     /// for the involved blocks. Caller holds the inode write lock.
     pub(crate) fn fsync_core(&self, ino: u64, state: &mut InodeMem, eval_bbm: bool) -> Result<()> {
         let now = self.env.now();
-        let mut sh = self.shared.lock();
+        let mut sh = self.shard(ino).lock();
         // Collect this file's dirty blocks and their flush sizes (N_cf).
         let mut dirty: Vec<(u64, u32, u64)> = Vec::new(); // (iblk, slot, n_cf)
         if let Some(file) = sh.files.get(&ino) {
@@ -668,7 +703,7 @@ impl Hinfs {
     /// later deleted do not need to be performed"). Caller holds the inode
     /// write lock or has otherwise excluded concurrent I/O on the file.
     pub(crate) fn drop_buffers(&self, ino: u64) {
-        let mut sh = self.shared.lock();
+        let mut sh = self.shard(ino).lock();
         if let Some(mut file) = sh.files.remove(&ino) {
             let mut slots = Vec::new();
             file.index.drain(&mut |_, slot| slots.push(slot));
@@ -813,12 +848,19 @@ impl FileSystem for Hinfs {
 
     fn write(&self, fd: Fd, off: u64, data: &[u8]) -> Result<usize> {
         self.timed(OpKind::Write, || {
-            self.write_impl(fd, off, data, false).map(|_| data.len())
+            self.write_impl(fd, off, &[data], false).map(|_| data.len())
+        })
+    }
+
+    fn write_vectored(&self, fd: Fd, off: u64, iovs: &[&[u8]]) -> Result<usize> {
+        self.timed(OpKind::Write, || {
+            let total = iovs.iter().map(|s| s.len()).sum();
+            self.write_impl(fd, off, iovs, false).map(|_| total)
         })
     }
 
     fn append(&self, fd: Fd, data: &[u8]) -> Result<u64> {
-        self.timed(OpKind::Write, || self.write_impl(fd, 0, data, true))
+        self.timed(OpKind::Write, || self.write_impl(fd, 0, &[data], true))
     }
 
     fn fsync(&self, fd: Fd) -> Result<()> {
@@ -903,7 +945,7 @@ impl FileSystem for Hinfs {
         {
             let mut guard = of.handle.state.write();
             self.fsync_core(of.ino, &mut guard, false)?;
-            let mut sh = self.shared.lock();
+            let mut sh = self.shard(of.ino).lock();
             // Drop (clean) buffered copies: the mapping must see NVMM.
             let slots: Vec<u32> = match sh.files.get(&of.ino) {
                 Some(f) => {

@@ -50,7 +50,9 @@ fn buffered_write_read_roundtrip() {
 
 #[test]
 fn lazy_writes_stay_off_nvmm_until_fsync() {
-    let (dev, fs) = fresh();
+    // One file lives in one shard: size the pool so that shard holds the
+    // whole 8-block write without reclaiming.
+    let (dev, fs) = fresh_with(small_cfg().with_buffer_bytes(512 * BLOCK_SIZE));
     let fd = fs.open("/f", rw_create()).unwrap();
     let before = dev.stats().snapshot();
     fs.write(fd, 0, &vec![7u8; 8 * BLOCK_SIZE]).unwrap();
@@ -75,7 +77,13 @@ fn lazy_writes_stay_off_nvmm_until_fsync() {
 fn buffered_write_is_much_faster_than_direct() {
     let env = SimEnv::new_virtual(CostModel::default());
     let dev_h = NvmmDevice::new(env.clone(), 8192 * BLOCK_SIZE);
-    let hin = Hinfs::mkfs(dev_h, opts(), small_cfg()).unwrap();
+    // 16 blocks go to a single file (one shard): give that shard headroom.
+    let hin = Hinfs::mkfs(
+        dev_h,
+        opts(),
+        small_cfg().with_buffer_bytes(512 * BLOCK_SIZE),
+    )
+    .unwrap();
     let dev_p = NvmmDevice::new(env.clone(), 8192 * BLOCK_SIZE);
     let pm = Pmfs::mkfs(dev_p, opts()).unwrap();
 
@@ -283,12 +291,6 @@ fn clfw_fetches_only_partial_lines() {
     // Evict so the block leaves the buffer, then write 0..112 (the paper's
     // example): only the second line is partially covered and fetched.
     fs.sync().unwrap();
-    {
-        let sh = fs.shared.lock();
-        if let Some(slot) = sh.slot_of(1, 0).or_else(|| sh.slot_of(2, 0)) {
-            let _ = slot; // slot may or may not remain; drop all to force re-fetch
-        }
-    }
     let of = fs.pmfs().open_file(fd).unwrap();
     {
         let _guard = of.handle.state.write();
@@ -308,7 +310,8 @@ fn clfw_fetches_only_partial_lines() {
 
 #[test]
 fn deleted_files_skip_writeback() {
-    let (dev, fs) = fresh();
+    // 16 dirty blocks of one file must all still be buffered at unlink.
+    let (dev, fs) = fresh_with(small_cfg().with_buffer_bytes(512 * BLOCK_SIZE));
     let fd = fs.open("/tmp1", rw_create()).unwrap();
     fs.write(fd, 0, &vec![1u8; 16 * BLOCK_SIZE]).unwrap();
     fs.close(fd).unwrap();

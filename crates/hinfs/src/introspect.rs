@@ -14,9 +14,15 @@
 //! mutate state, so running them cannot change any workload result.
 //!
 //! The cross-layer accounting checks (codes 8 and 9) compare counters that
-//! quiesce between operations; they are meant for the deterministic
-//! (virtual-clock) configurations where the auditor actually runs —
-//! concurrent spin-mode mutators could trip them mid-operation.
+//! quiesce between operations, and the folded-in PMFS audit walks
+//! namespace and block trees. Both are only exact when no mutator is
+//! mid-operation, so the *in-band* auditor (fsync/writeback hooks) skips
+//! them in spin mode, where other real threads run concurrently: there a
+//! journal transaction legitimately exists for a moment before its file
+//! FIFO entry does. The shard-local checks (codes 0–7) run under each
+//! shard's lock and hold at every lock release, so they stay on in every
+//! mode. A quiescent [`Introspect::audit`] call (end of run, unmount,
+//! post-recovery) always runs the full set.
 
 use obsv::{
     dirty_line_bucket, lrw_age_bucket, AuditReport, BufferSnap, FsSnapshot, Introspect, JournalSnap,
@@ -29,7 +35,10 @@ impl Hinfs {
     /// `obsv_audit_*` counters) when the mount has auditing enabled.
     pub(crate) fn maybe_audit(&self) {
         if self.cfg.audit {
-            let rep = self.audit();
+            // In spin mode other threads are mid-operation; only the
+            // shard-local invariants are exact (see the module doc).
+            let quiescent = self.env.mode() == nvmm::TimeMode::Virtual;
+            let rep = self.audit_inner(quiescent);
             self.obs.record_audit(&rep);
         }
     }
@@ -43,46 +52,51 @@ impl Introspect for Hinfs {
             high_blocks: self.cfg.high_blocks() as u64,
             ..BufferSnap::default()
         };
-        let sh = self.shared.lock();
-        let pool = sh.pool();
-        b.capacity_blocks = pool.capacity() as u64;
-        b.free_blocks = pool.free_count() as u64;
-        b.occupied_blocks = pool.lrw.len() as u64;
-        b.dirty_blocks = sh.dirty_blocks as u64;
-        for slot in pool.lrw.iter_from_tail() {
-            let m = pool.meta(slot);
-            b.dirty_line_histo[dirty_line_bucket(m.dirty.count_ones())] += 1;
-            b.lrw_age_histo[lrw_age_bucket(now.saturating_sub(m.last_write_ns))] += 1;
-        }
-        if let Some(tail) = pool.lrw.tail() {
-            b.lrw_oldest_age_ns = now.saturating_sub(pool.meta(tail).last_write_ns);
-        }
-        b.files_tracked = sh.files.len() as u64;
-        // HashMap iteration order is arbitrary; sort so repeated snapshots
-        // of identical state are identical.
-        let mut inos: Vec<u64> = sh.files.keys().copied().collect();
-        inos.sort_unstable();
+        // Shards are visited in index order, each under its own lock; the
+        // numbers are mutually consistent per shard (in virtual mode whole
+        // operations are atomic, so the aggregate is consistent too).
         let mut resident_eager = 0u64;
-        for ino in inos {
-            let f = &sh.files[&ino];
-            b.eager_blocks += f.eager.len() as u64;
-            b.bbm_tracked_blocks += f.bbm.len() as u64;
-            b.open_txs += f.txs.len() as u64;
-            resident_eager += f
-                .eager
-                .keys()
-                .filter(|&&iblk| f.index.get(iblk).is_some())
-                .count() as u64;
-            b.ghost_blocks += f
-                .bbm
-                .keys()
-                .filter(|&&iblk| f.index.get(iblk).is_none())
-                .count() as u64;
+        for shard in &self.shards {
+            let sh = shard.lock();
+            let pool = sh.pool();
+            b.capacity_blocks += pool.capacity() as u64;
+            b.free_blocks += pool.free_count() as u64;
+            b.occupied_blocks += pool.lrw.len() as u64;
+            b.dirty_blocks += sh.dirty_blocks as u64;
+            for slot in pool.lrw.iter_from_tail() {
+                let m = pool.meta(slot);
+                b.dirty_line_histo[dirty_line_bucket(m.dirty.count_ones())] += 1;
+                b.lrw_age_histo[lrw_age_bucket(now.saturating_sub(m.last_write_ns))] += 1;
+            }
+            if let Some(tail) = pool.lrw.tail() {
+                let age = now.saturating_sub(pool.meta(tail).last_write_ns);
+                b.lrw_oldest_age_ns = b.lrw_oldest_age_ns.max(age);
+            }
+            b.files_tracked += sh.files.len() as u64;
+            // HashMap iteration order is arbitrary; sort so repeated
+            // snapshots of identical state are identical.
+            let mut inos: Vec<u64> = sh.files.keys().copied().collect();
+            inos.sort_unstable();
+            for ino in inos {
+                let f = &sh.files[&ino];
+                b.eager_blocks += f.eager.len() as u64;
+                b.bbm_tracked_blocks += f.bbm.len() as u64;
+                b.open_txs += f.txs.len() as u64;
+                resident_eager += f
+                    .eager
+                    .keys()
+                    .filter(|&&iblk| f.index.get(iblk).is_some())
+                    .count() as u64;
+                b.ghost_blocks += f
+                    .bbm
+                    .keys()
+                    .filter(|&&iblk| f.index.get(iblk).is_none())
+                    .count() as u64;
+            }
         }
         // Eager blocks are evicted when they flip, so resident eager slots
         // only exist transiently; everything else occupied is lazy.
         b.lazy_buffered_blocks = b.occupied_blocks.saturating_sub(resident_eager);
-        drop(sh);
         let s = self.stats.snapshot();
         b.bbm_evals = s.bbm_evals;
         b.bbm_accurate = s.bbm_accurate;
@@ -104,95 +118,110 @@ impl Introspect for Hinfs {
     }
 
     fn audit(&self) -> AuditReport {
+        self.audit_inner(true)
+    }
+}
+
+impl Hinfs {
+    /// The audit body. `quiescent: false` restricts the pass to the
+    /// shard-local invariants (codes 0–7), which hold at every shard-lock
+    /// release even while other threads mutate; `true` adds the
+    /// cross-layer sums (codes 8–9) and the PMFS walk, which are only
+    /// exact with no operation in flight.
+    fn audit_inner(&self, quiescent: bool) -> AuditReport {
         let mut rep = AuditReport::new(self.env.now());
-        let sh = self.shared.lock();
-        let pool = sh.pool();
-        let cap = pool.capacity() as u64;
-        // config.watermarks: low < high <= capacity.
-        rep.check_lt(
-            6,
-            0,
-            0,
-            self.cfg.low_blocks() as u64,
-            self.cfg.high_blocks() as u64,
-        );
-        rep.check_le(6, 0, 0, self.cfg.high_blocks() as u64, cap);
-        // lrw.accounting: every slot is either linked or free.
-        rep.check_eq(2, 0, 0, (pool.lrw.len() + pool.free_count()) as u64, cap);
-        // One pass from the LRW tail: bitmap containment, chain integrity,
-        // and the dirty-slot population. (Write *stamps* are not compared:
-        // the workload runner gives each actor its own virtual timeline, so
-        // `last_write_ns` is only monotonic per actor, while the list
-        // itself orders by global touch sequence.)
-        let mut dirty_seen = 0u64;
-        let mut walked = 0u64;
-        let mut newest = None;
-        for slot in pool.lrw.iter_from_tail() {
-            let m = pool.meta(slot);
-            if m.dirty != 0 {
-                dirty_seen += 1;
-            }
-            // bitmap.dirty_subset_valid: a line must hold data to need
-            // writeback.
-            rep.check_eq(4, m.ino, m.iblk, m.dirty, m.dirty & m.valid);
-            walked += 1;
-            newest = Some(slot);
-        }
-        // lrw.order: the tail-to-head chain covers every linked slot
-        // exactly once and ends at the head — a broken or cyclic chain
-        // either shorts the walk or never reaches the head.
-        rep.check_eq(3, 0, 0, walked, pool.lrw.len() as u64);
-        if walked == pool.lrw.len() as u64 {
-            let head = pool.lrw.head().map_or(u64::MAX, u64::from);
-            rep.check_eq(3, 0, 0, newest.map_or(u64::MAX, u64::from), head);
-        }
-        // buffer.dirty_count: the incremental gauge matches a full count.
-        rep.check_eq(5, 0, 0, dirty_seen, sh.dirty_blocks as u64);
-        let mut inos: Vec<u64> = sh.files.keys().copied().collect();
-        inos.sort_unstable();
-        let mut index_entries = 0u64;
         let mut open_sum = 0u64;
-        for &ino in &inos {
-            let f = &sh.files[&ino];
-            index_entries += f.index.len() as u64;
-            open_sum += f.txs.len() as u64;
-            // index.slot_owner: each index entry points at a slot bound to
-            // exactly this (ino, iblk).
-            f.index.for_each(&mut |iblk, slot: &u32| {
-                let m = pool.meta(*slot);
-                rep.check_eq(0, ino, iblk, m.ino, ino);
-                rep.check_eq(0, ino, iblk, m.iblk, iblk);
-            });
-            // tx.pending_buffered: a block gating a deferred commit must
-            // still be buffered dirty, else the commit could never drain.
-            for t in &f.txs {
-                let mut blocks: Vec<u64> = t.pending.iter().copied().collect();
-                blocks.sort_unstable();
-                for iblk in blocks {
-                    let buffered_dirty =
-                        f.index.get(iblk).is_some_and(|&s| pool.meta(s).dirty != 0);
-                    rep.check_eq(7, ino, iblk, buffered_dirty as u64, 1);
+        // Per-shard structural checks: each shard is its own pool + index
+        // + LRW universe, so codes 0–7 hold shard-locally.
+        for shard in &self.shards {
+            let sh = shard.lock();
+            let pool = sh.pool();
+            let cap = pool.capacity() as u64;
+            // config.watermarks: low < high <= capacity, per shard.
+            let low = self.cfg.low_blocks_of(pool.capacity()) as u64;
+            let high = self.cfg.high_blocks_of(pool.capacity()) as u64;
+            rep.check_lt(6, 0, 0, low, high);
+            rep.check_le(6, 0, 0, high, cap);
+            // lrw.accounting: every slot is either linked or free.
+            rep.check_eq(2, 0, 0, (pool.lrw.len() + pool.free_count()) as u64, cap);
+            // One pass from the LRW tail: bitmap containment, chain
+            // integrity, and the dirty-slot population. (Write *stamps* are
+            // not compared: the workload runner gives each actor its own
+            // virtual timeline, so `last_write_ns` is only monotonic per
+            // actor, while the list itself orders by global touch
+            // sequence.)
+            let mut dirty_seen = 0u64;
+            let mut walked = 0u64;
+            let mut newest = None;
+            for slot in pool.lrw.iter_from_tail() {
+                let m = pool.meta(slot);
+                if m.dirty != 0 {
+                    dirty_seen += 1;
+                }
+                // bitmap.dirty_subset_valid: a line must hold data to need
+                // writeback.
+                rep.check_eq(4, m.ino, m.iblk, m.dirty, m.dirty & m.valid);
+                walked += 1;
+                newest = Some(slot);
+            }
+            // lrw.order: the tail-to-head chain covers every linked slot
+            // exactly once and ends at the head — a broken or cyclic chain
+            // either shorts the walk or never reaches the head.
+            rep.check_eq(3, 0, 0, walked, pool.lrw.len() as u64);
+            if walked == pool.lrw.len() as u64 {
+                let head = pool.lrw.head().map_or(u64::MAX, u64::from);
+                rep.check_eq(3, 0, 0, newest.map_or(u64::MAX, u64::from), head);
+            }
+            // buffer.dirty_count: the incremental gauge matches a full
+            // count.
+            rep.check_eq(5, 0, 0, dirty_seen, sh.dirty_blocks as u64);
+            let mut inos: Vec<u64> = sh.files.keys().copied().collect();
+            inos.sort_unstable();
+            let mut index_entries = 0u64;
+            for &ino in &inos {
+                let f = &sh.files[&ino];
+                index_entries += f.index.len() as u64;
+                open_sum += f.txs.len() as u64;
+                // index.slot_owner: each index entry points at a slot bound
+                // to exactly this (ino, iblk).
+                f.index.for_each(&mut |iblk, slot: &u32| {
+                    let m = pool.meta(*slot);
+                    rep.check_eq(0, ino, iblk, m.ino, ino);
+                    rep.check_eq(0, ino, iblk, m.iblk, iblk);
+                });
+                // tx.pending_buffered: a block gating a deferred commit
+                // must still be buffered dirty, else the commit could never
+                // drain.
+                for t in &f.txs {
+                    let mut blocks: Vec<u64> = t.pending.iter().copied().collect();
+                    blocks.sort_unstable();
+                    for iblk in blocks {
+                        let buffered_dirty =
+                            f.index.get(iblk).is_some_and(|&s| pool.meta(s).dirty != 0);
+                        rep.check_eq(7, ino, iblk, buffered_dirty as u64, 1);
+                    }
                 }
             }
+            // index.coverage: with slot owners verified, equal counts make
+            // the index-entry <-> occupied-slot relation a bijection.
+            rep.check_eq(1, 0, 0, index_entries, pool.lrw.len() as u64);
         }
-        // index.coverage: with slot owners verified, equal counts make the
-        // index-entry <-> occupied-slot relation a bijection.
-        rep.check_eq(1, 0, 0, index_entries, pool.lrw.len() as u64);
-        // tx.accounting: the opened/committed counters explain every open
-        // transaction.
-        let s = self.stats.snapshot();
-        rep.check_eq(
-            8,
-            0,
-            0,
-            s.txs_opened.saturating_sub(s.txs_committed),
-            open_sum,
-        );
-        // journal.reserved (cross-layer): every journal-side open
-        // transaction belongs to some file's FIFO.
-        rep.check_eq(9, 0, 0, self.inner.journal().usage().open_txs, open_sum);
-        drop(sh);
-        rep.merge(Introspect::audit(self.inner.as_ref()));
+        if quiescent {
+            // tx.accounting: the opened/committed counters explain every
+            // open transaction, summed over all shards.
+            let s = self.stats.snapshot();
+            rep.check_eq(
+                8,
+                0,
+                0,
+                s.txs_opened.saturating_sub(s.txs_committed),
+                open_sum,
+            );
+            // journal.reserved (cross-layer): every journal-side open
+            // transaction belongs to some file's FIFO in some shard.
+            rep.check_eq(9, 0, 0, self.inner.journal().usage().open_txs, open_sum);
+            rep.merge(Introspect::audit(self.inner.as_ref()));
+        }
         rep
     }
 }
@@ -295,7 +324,7 @@ mod tests {
         // Flip a dirty bit with no backing valid line — exactly the class
         // of bug the Cacheline Bitmap invariant exists to catch.
         {
-            let mut sh = fs.shared.lock();
+            let mut sh = fs.shard(ino).lock();
             let slot = sh.slot_of(ino, 5).expect("block 5 is buffered");
             let m = sh.pool_mut().meta_mut(slot);
             let stray = !m.valid;

@@ -38,13 +38,17 @@ pub fn note_flushed(file: &mut FileBuf, journal: &Journal, iblk: u64, stats: &Hi
     drain_ready(file, journal, stats);
 }
 
-/// Commits transactions from the front of the FIFO while they are ready.
+/// Commits transactions from the front of the FIFO while they are ready —
+/// as one group commit, so a drain of N transactions costs one journal
+/// lock hold and two fences instead of two fences per transaction.
 pub fn drain_ready(file: &mut FileBuf, journal: &Journal, stats: &HinfsStats) {
-    while file.txs.front().is_some_and(|t| t.pending.is_empty()) {
-        let t = file.txs.pop_front().expect("checked non-empty");
-        journal.commit(t.tx);
-        HinfsStats::bump(&stats.txs_committed, 1);
+    let ready = file.txs.iter().take_while(|t| t.pending.is_empty()).count();
+    if ready == 0 {
+        return;
     }
+    let batch: Vec<_> = file.txs.drain(..ready).map(|t| t.tx).collect();
+    HinfsStats::bump(&stats.txs_committed, ready as u64);
+    journal.commit_group(batch);
 }
 
 /// Force-commits every open transaction of the file, dropping pending-block
@@ -53,10 +57,9 @@ pub fn drain_ready(file: &mut FileBuf, journal: &Journal, stats: &HinfsStats) {
 /// unflushed blocks are holes, so committing early exposes zeroes at worst,
 /// never garbage).
 pub fn force_commit_all(file: &mut FileBuf, journal: &Journal, stats: &HinfsStats) {
-    while let Some(t) = file.txs.pop_front() {
-        journal.commit(t.tx);
-        HinfsStats::bump(&stats.txs_committed, 1);
-    }
+    let batch: Vec<_> = file.txs.drain(..).map(|t| t.tx).collect();
+    HinfsStats::bump(&stats.txs_committed, batch.len() as u64);
+    journal.commit_group(batch);
 }
 
 /// Number of open transactions across every file (diagnostics).

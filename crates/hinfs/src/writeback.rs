@@ -36,8 +36,10 @@ use crate::tracker;
 /// Control state of the writeback machinery.
 #[derive(Debug)]
 pub struct WbCtl {
-    /// The writeback actor's virtual clock (virtual mode only).
-    pub(crate) clock: AtomicU64,
+    /// Per-shard writeback-actor virtual clocks (virtual mode only): each
+    /// shard's background pass advances on its own timeline, mirroring one
+    /// writeback thread per shard.
+    pub(crate) clocks: Vec<AtomicU64>,
     /// Last periodic pass, in simulated ns.
     pub(crate) last_periodic: AtomicU64,
     pub(crate) stop: AtomicBool,
@@ -47,9 +49,9 @@ pub struct WbCtl {
 }
 
 impl WbCtl {
-    pub(crate) fn new() -> WbCtl {
+    pub(crate) fn new(nshards: usize) -> WbCtl {
         WbCtl {
-            clock: AtomicU64::new(0),
+            clocks: (0..nshards.max(1)).map(|_| AtomicU64::new(0)).collect(),
             last_periodic: AtomicU64::new(0),
             stop: AtomicBool::new(false),
             kick_flag: TrackedMutex::new(Site::HinfsWriteback, false),
@@ -200,23 +202,24 @@ impl Hinfs {
     /// (foreground stall path — waiting there could deadlock).
     pub(crate) fn reclaim(
         &self,
+        si: usize,
         target_free: usize,
         own: Option<(u64, &mut InodeMem)>,
         blocking: bool,
     ) {
         if !self.obs.trace.enabled() {
-            self.reclaim_loop(target_free, own, blocking);
+            self.reclaim_loop(si, target_free, own, blocking);
             return;
         }
-        let free = self.shared.lock().pool().free_count() as u64;
+        let free = self.shards[si].lock().pool().free_count() as u64;
         self.obs
             .trace
             .emit(self.env.now(), || obsv::TraceEvent::ReclaimBegin {
                 free,
                 target: target_free as u64,
             });
-        let victims = self.reclaim_loop(target_free, own, blocking);
-        let free = self.shared.lock().pool().free_count() as u64;
+        let victims = self.reclaim_loop(si, target_free, own, blocking);
+        let free = self.shards[si].lock().pool().free_count() as u64;
         self.obs
             .trace
             .emit(self.env.now(), || obsv::TraceEvent::ReclaimEnd {
@@ -228,13 +231,14 @@ impl Hinfs {
     /// The reclaim loop proper; returns the number of evicted victims.
     fn reclaim_loop(
         &self,
+        si: usize,
         target_free: usize,
         mut own: Option<(u64, &mut InodeMem)>,
         blocking: bool,
     ) -> u64 {
         let mut victims = 0;
         loop {
-            let mut sh = self.shared.lock();
+            let mut sh = self.shards[si].lock();
             if sh.pool().free_count() >= target_free {
                 return victims;
             }
@@ -282,7 +286,7 @@ impl Hinfs {
                 std::thread::yield_now();
                 continue;
             };
-            let mut sh = self.shared.lock();
+            let mut sh = self.shards[si].lock();
             // Re-validate after re-locking.
             let still = sh.slot_of(foreign_ino, sh.pool().meta(slot).iblk) == Some(slot)
                 && sh.pool().meta(slot).ino == foreign_ino;
@@ -296,9 +300,21 @@ impl Hinfs {
         }
     }
 
-    /// One full writeback pass at time `now` (on the caller's clock):
-    /// watermark reclaim, then the 30 s dirty-age flush.
+    /// One full writeback pass over every shard at time `now` (on the
+    /// caller's clock) — the spin-mode thread body.
     pub(crate) fn wb_pass(&self, now: u64) {
+        for si in 0..self.shards.len() {
+            self.wb_pass_shard(si, now);
+        }
+        // Periodic online audit: each background pass re-verifies the
+        // index/bitmap/LRW invariants when the mount has auditing on.
+        self.maybe_audit();
+    }
+
+    /// One writeback pass over shard `si`: watermark reclaim against the
+    /// shard's own `Low_f`/`High_f`, then the 30 s dirty-age flush along
+    /// the shard's LRW list.
+    pub(crate) fn wb_pass_shard(&self, si: usize, now: u64) {
         // Injected stall: the writeback actor simply makes no progress this
         // pass. Foreground paths must degrade gracefully (flush-on-demand
         // via fsync / pool-pressure reclaim in the write path still run).
@@ -306,19 +322,19 @@ impl Hinfs {
             return;
         }
         {
-            let sh = self.shared.lock();
+            let sh = self.shards[si].lock();
+            let cap = sh.pool().capacity();
             let free = sh.pool().free_count();
-            let low = self.cfg.low_blocks();
             drop(sh);
-            if free < low {
-                self.reclaim(self.cfg.high_blocks(), None, true);
+            if free < self.cfg.low_blocks_of(cap) {
+                self.reclaim(si, self.cfg.high_blocks_of(cap), None, true);
             }
         }
         // Age-based flush: the LRW list is ordered by last write, so scan
         // from the LRW end until blocks get too young.
         let mut age_flushed: u64 = 0;
         loop {
-            let mut sh = self.shared.lock();
+            let mut sh = self.shards[si].lock();
             let mut target: Option<(u32, u64)> = None;
             for slot in sh.pool().lrw.iter_from_tail() {
                 let m = sh.pool().meta(slot);
@@ -342,7 +358,7 @@ impl Hinfs {
                         continue;
                     };
                     let mut guard = handle.state.write();
-                    let mut sh = self.shared.lock();
+                    let mut sh = self.shards[si].lock();
                     let iblk = sh.pool().meta(slot).iblk;
                     if sh.slot_of(ino, iblk) == Some(slot)
                         && matches!(
@@ -361,9 +377,6 @@ impl Hinfs {
                 .trace
                 .emit(now, || obsv::TraceEvent::PeriodicPass { age_flushed });
         }
-        // Periodic online audit: each background pass re-verifies the
-        // index/bitmap/LRW invariants when the mount has auditing on.
-        self.maybe_audit();
     }
 
     /// Virtual-mode hook: runs due background work on the writeback actor's
@@ -372,36 +385,43 @@ impl Hinfs {
         if self.env.mode() != TimeMode::Virtual {
             return;
         }
-        let need_reclaim = {
-            let sh = self.shared.lock();
-            sh.pool().free_count() < self.cfg.low_blocks()
-        };
         let last = self.wb.last_periodic.load(Ordering::Relaxed);
         let periodic_due = now.saturating_sub(last) >= self.cfg.periodic_wb_ns;
-        if !need_reclaim && !periodic_due {
-            return;
-        }
         if periodic_due {
             self.wb.last_periodic.store(now, Ordering::Relaxed);
         }
-        // The writeback actor runs at most MAX_LEAD ahead of the
+        // Each shard's writeback actor runs at most MAX_LEAD ahead of the
         // foreground: a real background thread shares wall time with its
         // producers, and bounding the lead also re-anchors the actor after
         // a timeline rebase (env.rebase() moves the foreground back to 0).
         const MAX_LEAD: u64 = 20_000_000; // 20 ms
-        let wb_now = self
-            .wb
-            .clock
-            .load(Ordering::Relaxed)
-            .clamp(now, now + MAX_LEAD);
-        // The pass runs inline on the caller's thread but on the writeback
-        // actor's own timeline: detach span attribution so its device time
-        // lands in the background row, not in whichever op triggered it.
-        let ((), end) = self
-            .dev()
-            .spans()
-            .detached(|| self.env.with_now(wb_now, || self.wb_pass(wb_now)));
-        self.wb.clock.store(end, Ordering::Relaxed);
+        let mut ran = false;
+        for si in 0..self.shards.len() {
+            let need_reclaim = {
+                let sh = self.shards[si].lock();
+                sh.pool().free_count() < self.cfg.low_blocks_of(sh.pool().capacity())
+            };
+            if !need_reclaim && !periodic_due {
+                continue;
+            }
+            let wb_now = self.wb.clocks[si]
+                .load(Ordering::Relaxed)
+                .clamp(now, now + MAX_LEAD);
+            // The pass runs inline on the caller's thread but on the shard
+            // actor's own timeline: detach span attribution so its device
+            // time lands in the background row, not in whichever op
+            // triggered it.
+            let ((), end) = self
+                .dev()
+                .spans()
+                .detached(|| self.env.with_now(wb_now, || self.wb_pass_shard(si, wb_now)));
+            self.wb.clocks[si].store(end, Ordering::Relaxed);
+            ran = true;
+        }
+        if ran {
+            // Re-verify the invariants once per tick, not once per shard.
+            self.maybe_audit();
+        }
     }
 
     /// Wakes the background threads (spin mode) or runs the actor
@@ -470,69 +490,76 @@ impl Hinfs {
     }
 
     fn flush_files(&self, blocking: bool) -> Result<()> {
-        let mut inos: Vec<u64> = {
-            let sh = self.shared.lock();
-            sh.files.keys().copied().collect()
-        };
-        // Flush order feeds the journal and the bandwidth-gate calendar;
-        // HashMap order would make virtual time run-dependent.
-        inos.sort_unstable();
-        for ino in inos {
-            let Ok(handle) = self.inner.inode(ino) else {
-                continue;
+        // Shards are visited in index order and inos sorted within each:
+        // flush order feeds the journal and the bandwidth-gate calendar,
+        // and HashMap order would make virtual time run-dependent.
+        for si in 0..self.shards.len() {
+            let mut inos: Vec<u64> = {
+                let sh = self.shards[si].lock();
+                sh.files.keys().copied().collect()
             };
-            let guard = if blocking {
-                Some(handle.state.write())
-            } else {
-                handle.state.try_write()
-            };
-            let Some(mut guard) = guard else {
-                continue;
-            };
-            let mut sh = self.shared.lock();
-            let slots: Vec<u32> = match sh.files.get(&ino) {
-                Some(f) => {
-                    let mut v = Vec::new();
-                    f.index.for_each(&mut |_, s| v.push(*s));
-                    v
-                }
-                None => continue,
-            };
-            for slot in slots {
-                if sh.pool().meta(slot).dirty != 0 {
-                    match self.flush_slot_locked(&mut sh, slot, Some(&mut guard))? {
-                        FlushTry::Done => {}
-                        FlushTry::NeedsInode(_) => {
-                            return Err(FsError::Corrupted("flush_all could not map block"))
+            inos.sort_unstable();
+            for ino in inos {
+                let Ok(handle) = self.inner.inode(ino) else {
+                    continue;
+                };
+                let guard = if blocking {
+                    Some(handle.state.write())
+                } else {
+                    handle.state.try_write()
+                };
+                let Some(mut guard) = guard else {
+                    continue;
+                };
+                let mut sh = self.shards[si].lock();
+                let slots: Vec<u32> = match sh.files.get(&ino) {
+                    Some(f) => {
+                        let mut v = Vec::new();
+                        f.index.for_each(&mut |_, s| v.push(*s));
+                        v
+                    }
+                    None => continue,
+                };
+                for slot in slots {
+                    if sh.pool().meta(slot).dirty != 0 {
+                        match self.flush_slot_locked(&mut sh, slot, Some(&mut guard))? {
+                            FlushTry::Done => {}
+                            FlushTry::NeedsInode(_) => {
+                                return Err(FsError::Corrupted("flush_all could not map block"))
+                            }
                         }
                     }
                 }
-            }
-            if let Some(file) = sh.files.get_mut(&ino) {
-                // All blocks are clean: no pending entry may gate a commit.
-                for t in &mut file.txs {
-                    t.pending.clear();
+                if let Some(file) = sh.files.get_mut(&ino) {
+                    // All blocks are clean: no pending entry may gate a
+                    // commit.
+                    for t in &mut file.txs {
+                        t.pending.clear();
+                    }
+                    tracker::drain_ready(file, self.inner.journal(), &self.stats);
+                    debug_assert!(file.txs.is_empty(), "flush_all left open transactions");
                 }
-                tracker::drain_ready(file, self.inner.journal(), &self.stats);
-                debug_assert!(file.txs.is_empty(), "flush_all left open transactions");
             }
         }
         Ok(())
     }
 
-    /// Total bytes of buffered dirty data (diagnostics).
+    /// Total buffered dirty blocks across every shard (diagnostics).
     pub fn dirty_blocks(&self) -> usize {
-        self.shared.lock().dirty_blocks
+        self.shards.iter().map(|s| s.lock().dirty_blocks).sum()
     }
 
-    /// Free DRAM buffer blocks (diagnostics).
+    /// Free DRAM buffer blocks across every shard (diagnostics).
     pub fn free_buffer_blocks(&self) -> usize {
-        self.shared.lock().pool().free_count()
+        self.shards
+            .iter()
+            .map(|s| s.lock().pool().free_count())
+            .sum()
     }
 
-    /// Buffer capacity in blocks.
+    /// Buffer capacity in blocks (sum of the shard pools).
     pub fn buffer_capacity(&self) -> usize {
         let _ = BLOCK_SIZE;
-        self.shared.lock().pool().capacity()
+        self.shards.iter().map(|s| s.lock().pool().capacity()).sum()
     }
 }

@@ -297,6 +297,25 @@ impl NvmmDevice {
         )
     }
 
+    /// Issues one store fence standing in for `n` logical ordering points
+    /// (group commit): the batch pays a single fence latency while the
+    /// `n - 1` folded ordering points stay visible in the stats so fence
+    /// accounting remains auditable.
+    pub fn sfence_coalesced(&self, n: u64) {
+        self.spans.scope(
+            Phase::Fence,
+            || self.env.now(),
+            || {
+                self.stats.add_fence();
+                if n > 1 {
+                    self.stats.add_fences_coalesced(n - 1);
+                }
+                self.env.charge_fence();
+                self.fault_boundary(BoundaryKind::Fence, 0, 0);
+            },
+        )
+    }
+
     /// Writes zeroes over `[off, off+len)` with non-temporal stores.
     pub fn zero_persist(&self, cat: Cat, off: u64, len: usize) {
         self.check(off, len);

@@ -1,12 +1,21 @@
 //! The PMFS file system object: mount/mkfs/recovery, the namespace, and the
 //! [`FileSystem`] implementation.
 //!
-//! Locking model (documented order, coarse on purpose — metadata operations
-//! are not the bottleneck the paper studies):
+//! Locking model (documented order):
 //!
-//! 1. `ns` — one mutex serializing namespace mutations (create, unlink,
-//!    mkdir, rmdir, rename) and their directory-entry edits.
+//! 1. `ns_shards` — namespace mutations (create, unlink, mkdir, rmdir,
+//!    rename) lock the shard keyed by the *(parent inode, entry name)*
+//!    pair they mutate, so racing operations on the same entry serialize
+//!    while operations on different entries proceed in parallel. Rename
+//!    locks its two shards in ascending index order. Cross-entry races
+//!    (creating inside a directory that is concurrently removed) are
+//!    resolved by the directory's own inode lock: `rmdir` holds the dead
+//!    directory's write lock from the emptiness check through
+//!    `nlink = 0`, and every entry mutation re-checks `nlink` under the
+//!    parent's lock.
 //! 2. per-inode `RwLock` — protects file size, block tree and data I/O.
+//!    Never hold two except child-then-parent in `rmdir`, which always
+//!    follows tree depth upward (no cycles).
 //! 3. journal internal mutex — leaf lock, taken inside transactions.
 
 use std::sync::Arc;
@@ -64,7 +73,7 @@ pub struct Pmfs {
     alloc: Allocator,
     icache: InodeCache,
     fds: FdTable<OpenFile>,
-    ns: TrackedMutex<()>,
+    ns_shards: Vec<TrackedMutex<()>>,
     recovery: RecoveryStats,
     obs: Arc<FsObs>,
 }
@@ -110,7 +119,9 @@ impl Pmfs {
         obs.set_spans(dev.spans().clone());
         let fds = FdTable::new();
         fds.attach_contention(dev.contention());
-        let ns = TrackedMutex::attached(dev.contention(), Site::PmfsNamespace, ());
+        let ns_shards = (0..obsv::NSHARDS)
+            .map(|i| TrackedMutex::attached(dev.contention(), Site::pmfs_ns_shard(i), ()))
+            .collect();
         Ok(Arc::new(Pmfs {
             dev,
             env,
@@ -119,7 +130,7 @@ impl Pmfs {
             alloc,
             icache,
             fds,
-            ns,
+            ns_shards,
             recovery,
             obs,
         }))
@@ -232,6 +243,21 @@ impl Pmfs {
 
     // ----- namespace internals -----
 
+    /// Namespace shard index for entry `name` under directory
+    /// `parent_ino` (FNV-style fold; any deterministic spread works).
+    fn ns_shard(&self, parent_ino: u64, name: &str) -> usize {
+        let mut h = parent_ino ^ 0x9E37_79B9_7F4A_7C15;
+        for b in name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        (h % self.ns_shards.len() as u64) as usize
+    }
+
+    /// Locks the namespace shard guarding `(parent_ino, name)`.
+    fn lock_ns<'a>(&'a self, parent_ino: u64, name: &str) -> obsv::TrackedMutexGuard<'a, ()> {
+        self.ns_shards[self.ns_shard(parent_ino, name)].lock()
+    }
+
     fn resolve(&self, comps: &[&str]) -> Result<Arc<InodeHandle>> {
         let mut h = self.inode(ROOT_INO)?;
         for comp in comps {
@@ -271,6 +297,11 @@ impl Pmfs {
         let res = (|| -> Result<()> {
             self.log_write_inode(&tx, ino, &mem)?;
             let mut pstate = parent.state.write();
+            if pstate.ftype != FileType::Dir || pstate.nlink == 0 {
+                // The parent was removed between resolution and the
+                // shard lock (different entries, different shards).
+                return Err(FsError::NotFound);
+            }
             dir::add(
                 &self.dev,
                 &self.journal,
@@ -362,12 +393,14 @@ impl Pmfs {
         }
     }
 
-    /// Unlink with the namespace lock already held (also used by rename's
-    /// replace path).
-    fn unlink_locked(&self, path: &str) -> Result<()> {
-        let (parent, name) = self.resolve_parent(path)?;
+    /// Unlink of `name` under `parent`, with the entry's namespace shard
+    /// already held (also used by rename's replace path).
+    fn unlink_at(&self, parent: &Arc<InodeHandle>, name: &str) -> Result<()> {
         let (ino, ftype) = {
             let pstate = parent.state.read();
+            if pstate.nlink == 0 {
+                return Err(FsError::NotFound);
+            }
             dir::lookup(&self.dev, &pstate, name)?.ok_or(FsError::NotFound)?
         };
         if ftype != FileType::File {
@@ -420,22 +453,35 @@ impl Pmfs {
         }
     }
 
-    /// Rmdir with the namespace lock already held.
-    fn rmdir_locked(&self, path: &str) -> Result<()> {
-        let (parent, name) = self.resolve_parent(path)?;
+    /// Rmdir of `name` under `parent`, with the entry's namespace shard
+    /// already held.
+    fn rmdir_at(&self, parent: &Arc<InodeHandle>, name: &str) -> Result<()> {
         let (ino, ftype) = {
             let pstate = parent.state.read();
+            if pstate.nlink == 0 {
+                return Err(FsError::NotFound);
+            }
             dir::lookup(&self.dev, &pstate, name)?.ok_or(FsError::NotFound)?
         };
         if ftype != FileType::Dir {
             return Err(FsError::NotADirectory);
         }
         let child = self.inode(ino)?;
-        if !dir::is_empty(&self.dev, &child.state.read())? {
-            return Err(FsError::DirectoryNotEmpty);
-        }
         let tx = self.journal.begin()?;
         let res = (|| -> Result<()> {
+            // Hold the dying directory's write lock from the emptiness
+            // check through `nlink = 0`: a concurrent create into it
+            // either lands first (seen here as DirectoryNotEmpty) or
+            // observes the dead directory under its own parent lock.
+            // Child-then-parent nesting always follows tree depth upward,
+            // so it cannot deadlock against another rmdir.
+            let mut cstate = child.state.write();
+            if cstate.nlink == 0 {
+                return Err(FsError::NotFound);
+            }
+            if !dir::is_empty(&self.dev, &cstate)? {
+                return Err(FsError::DirectoryNotEmpty);
+            }
             {
                 let mut pstate = parent.state.write();
                 dir::remove(&self.dev, &self.journal, &tx, &pstate, name)?;
@@ -444,9 +490,9 @@ impl Pmfs {
                 drop(pstate);
                 self.log_write_inode(&tx, parent.ino, &p)?;
             }
-            let mut cstate = child.state.write();
             self.journal
                 .log_range(&tx, self.layout.inode_off(ino), INODE_CORE)?;
+            cstate.nlink = 0;
             file::free_all(&self.dev, &self.alloc, &mut cstate);
             self.dev
                 .write_persist(Cat::Meta, self.layout.inode_off(ino), &[0u8; INODE_CORE]);
@@ -475,13 +521,16 @@ impl FileSystem for Pmfs {
     fn open(&self, path: &str, flags: OpenFlags) -> Result<Fd> {
         self.timed(OpKind::Open, || {
             self.env.charge_syscall();
-            let _ns = self.ns.lock();
             let (parent, name) = self.resolve_parent(path)?;
             fskit::path::validate_name(name)?;
+            let _ns = self.lock_ns(parent.ino, name);
             let existing = {
                 let pstate = parent.state.read();
                 if pstate.ftype != FileType::Dir {
                     return Err(FsError::NotADirectory);
+                }
+                if pstate.nlink == 0 {
+                    return Err(FsError::NotFound);
                 }
                 dir::lookup(&self.dev, &pstate, name)?
             };
@@ -594,6 +643,47 @@ impl FileSystem for Pmfs {
         })
     }
 
+    fn write_vectored(&self, fd: Fd, off: u64, iovs: &[&[u8]]) -> Result<usize> {
+        self.timed(OpKind::Write, || {
+            self.env.charge_syscall();
+            let of = self.fds.get(fd)?;
+            if !of.flags.writable() {
+                return Err(FsError::BadFd);
+            }
+            // One journal transaction, one inode lock hold and one logged
+            // inode core cover the whole gather list — per-slice the only
+            // repeated cost is the data copy itself.
+            let tx = self.journal.begin()?;
+            let res = (|| -> Result<usize> {
+                let mut state = of.handle.state.write();
+                let mut cur = if of.flags.contains(OpenFlags::APPEND) {
+                    state.size
+                } else {
+                    off
+                };
+                let start = cur;
+                for iov in iovs {
+                    file::write_at(&self.dev, &self.alloc, &mut state, cur, iov, self.env.now())?;
+                    cur += iov.len() as u64;
+                }
+                let snap = *state;
+                drop(state);
+                self.log_write_inode(&tx, of.ino, &snap)?;
+                Ok((cur - start) as usize)
+            })();
+            match res {
+                Ok(n) => {
+                    self.journal.commit(tx);
+                    Ok(n)
+                }
+                Err(e) => {
+                    self.journal.abort(tx);
+                    Err(e)
+                }
+            }
+        })
+    }
+
     fn append(&self, fd: Fd, data: &[u8]) -> Result<u64> {
         self.timed(OpKind::Write, || {
             self.env.charge_syscall();
@@ -646,18 +736,22 @@ impl FileSystem for Pmfs {
     fn unlink(&self, path: &str) -> Result<()> {
         self.timed(OpKind::Unlink, || {
             self.env.charge_syscall();
-            let _ns = self.ns.lock();
-            self.unlink_locked(path)
+            let (parent, name) = self.resolve_parent(path)?;
+            let _ns = self.lock_ns(parent.ino, name);
+            self.unlink_at(&parent, name)
         })
     }
 
     fn mkdir(&self, path: &str) -> Result<()> {
         self.env.charge_syscall();
-        let _ns = self.ns.lock();
         let (parent, name) = self.resolve_parent(path)?;
         fskit::path::validate_name(name)?;
+        let _ns = self.lock_ns(parent.ino, name);
         {
             let pstate = parent.state.read();
+            if pstate.nlink == 0 {
+                return Err(FsError::NotFound);
+            }
             if dir::lookup(&self.dev, &pstate, name)?.is_some() {
                 return Err(FsError::AlreadyExists);
             }
@@ -668,8 +762,9 @@ impl FileSystem for Pmfs {
 
     fn rmdir(&self, path: &str) -> Result<()> {
         self.env.charge_syscall();
-        let _ns = self.ns.lock();
-        self.rmdir_locked(path)
+        let (parent, name) = self.resolve_parent(path)?;
+        let _ns = self.lock_ns(parent.ino, name);
+        self.rmdir_at(&parent, name)
     }
 
     fn readdir(&self, path: &str) -> Result<Vec<DirEntry>> {
@@ -714,12 +809,21 @@ impl FileSystem for Pmfs {
 
     fn rename(&self, from: &str, to: &str) -> Result<()> {
         self.env.charge_syscall();
-        let _ns = self.ns.lock();
         let (src_parent, src_name) = self.resolve_parent(from)?;
         let (dst_parent, dst_name) = self.resolve_parent(to)?;
         fskit::path::validate_name(dst_name)?;
+        // Lock both entries' shards in ascending index order (one lock
+        // when they collide) so concurrent renames cannot deadlock.
+        let si = self.ns_shard(src_parent.ino, src_name);
+        let di = self.ns_shard(dst_parent.ino, dst_name);
+        let (lo, hi) = (si.min(di), si.max(di));
+        let _ns_lo = self.ns_shards[lo].lock();
+        let _ns_hi = (hi != lo).then(|| self.ns_shards[hi].lock());
         let (ino, ftype) = {
             let pstate = src_parent.state.read();
+            if pstate.nlink == 0 {
+                return Err(FsError::NotFound);
+            }
             dir::lookup(&self.dev, &pstate, src_name)?.ok_or(FsError::NotFound)?
         };
         // Replace semantics for an existing destination.
@@ -732,8 +836,8 @@ impl FileSystem for Pmfs {
                 return Ok(());
             }
             match (ftype, dftype) {
-                (FileType::File, FileType::File) => self.unlink_locked(to)?,
-                (FileType::Dir, FileType::Dir) => self.rmdir_locked(to)?,
+                (FileType::File, FileType::File) => self.unlink_at(&dst_parent, dst_name)?,
+                (FileType::Dir, FileType::Dir) => self.rmdir_at(&dst_parent, dst_name)?,
                 (FileType::File, FileType::Dir) => return Err(FsError::IsADirectory),
                 (FileType::Dir, FileType::File) => return Err(FsError::NotADirectory),
             }

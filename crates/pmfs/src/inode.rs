@@ -107,9 +107,14 @@ pub struct InodeHandle {
 }
 
 /// Cache of in-memory inode handles plus the free-slot list.
+///
+/// The handle map is sharded by `ino % NSHARDS` so concurrent lookups of
+/// different inodes don't collide on one lock; the free-slot list stays a
+/// single stack (allocation order matters for low-numbers-first tests and
+/// deterministic replays) under the legacy `pmfs.inode_map` site.
 #[derive(Debug)]
 pub struct InodeCache {
-    map: TrackedMutex<HashMap<u64, Arc<InodeHandle>>>,
+    shards: Vec<TrackedMutex<HashMap<u64, Arc<InodeHandle>>>>,
     free_slots: TrackedMutex<Vec<u64>>,
 }
 
@@ -127,10 +132,17 @@ impl InodeCache {
             }
         }
         let contention = dev.contention();
+        let shards = (0..obsv::NSHARDS)
+            .map(|i| TrackedMutex::attached(contention, Site::pmfs_inode_shard(i), HashMap::new()))
+            .collect();
         Ok(InodeCache {
-            map: TrackedMutex::attached(contention, Site::PmfsInodeMap, HashMap::new()),
+            shards,
             free_slots: TrackedMutex::attached(contention, Site::PmfsInodeMap, free),
         })
+    }
+
+    fn shard(&self, ino: u64) -> &TrackedMutex<HashMap<u64, Arc<InodeHandle>>> {
+        &self.shards[(ino % obsv::NSHARDS as u64) as usize]
     }
 
     /// Loads (or returns the cached) handle for a used inode.
@@ -138,7 +150,7 @@ impl InodeCache {
         if ino == 0 || ino >= layout.inode_count {
             return Err(FsError::Corrupted("inode number out of range"));
         }
-        let mut map = self.map.lock();
+        let mut map = self.shard(ino).lock();
         if let Some(h) = map.get(&ino) {
             return Ok(h.clone());
         }
@@ -161,7 +173,7 @@ impl InodeCache {
             state: RwLock::new(mem),
             opens: Mutex::new(0),
         });
-        self.map.lock().insert(ino, h.clone());
+        self.shard(ino).lock().insert(ino, h.clone());
         h
     }
 
@@ -172,7 +184,7 @@ impl InodeCache {
 
     /// Returns a slot to the free list and drops the cached handle.
     pub fn free_slot(&self, ino: u64) {
-        self.map.lock().remove(&ino);
+        self.shard(ino).lock().remove(&ino);
         self.free_slots.lock().push(ino);
     }
 
@@ -181,9 +193,17 @@ impl InodeCache {
         self.free_slots.lock().len()
     }
 
-    /// Every inode number that currently has a cached handle.
+    /// Every inode number that currently has a cached handle, in
+    /// ascending order (shards are walked in index order, then sorted so
+    /// callers see a shard-count-independent listing).
     pub fn cached_inos(&self) -> Vec<u64> {
-        self.map.lock().keys().copied().collect()
+        let mut inos: Vec<u64> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.lock().keys().copied().collect::<Vec<u64>>())
+            .collect();
+        inos.sort_unstable();
+        inos
     }
 }
 

@@ -30,3 +30,4 @@ pub mod traces;
 
 pub use metrics::{OpKind, RunReport};
 pub use runner::{Actor, Ctx, RunLimit, Runner};
+pub use setups::{ObsvOptions, SystemConfig, SystemKind};

@@ -119,6 +119,15 @@ impl<'a> Ctx<'a> {
         Ok(n)
     }
 
+    /// Gather write (`pwritev`): one accounted write op covering every
+    /// slice. On an `APPEND` descriptor the run lands at EOF.
+    pub fn write_vectored(&mut self, fd: Fd, off: u64, iovs: &[&[u8]]) -> Result<usize> {
+        let n = self.timed(OpKind::Write, |fs| fs.write_vectored(fd, off, iovs))?;
+        self.metrics.bytes_written += n as u64;
+        *self.unsynced.entry(fd).or_insert(0) += n as u64;
+        Ok(n)
+    }
+
     /// Append.
     pub fn append(&mut self, fd: Fd, data: &[u8]) -> Result<u64> {
         let off = self.timed(OpKind::Write, |fs| fs.append(fd, data))?;

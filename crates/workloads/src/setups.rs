@@ -64,6 +64,75 @@ impl SystemKind {
     ];
 }
 
+/// The observability switches of a system build, collapsed into one
+/// value. Every switch is off by default (each enabled layer costs at
+/// least one extra atomic load per hook); [`ObsvOptions::all`] turns the
+/// whole stack on for debugging and introspection runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ObsvOptions {
+    /// Record per-op latency histograms (experiments that only need
+    /// throughput skip the two extra clock reads per syscall).
+    pub timing: bool,
+    /// Record structured trace events into the ring.
+    pub trace: bool,
+    /// Attribute device/FS time to per-op phase spans.
+    pub spans: bool,
+    /// Run the online invariant auditor at every fsync and writeback pass
+    /// (HiNFS only — it walks the whole buffer pool).
+    pub audit: bool,
+    /// Record lock wait/hold times and stall attribution in the machine's
+    /// contention profiler.
+    pub contention: bool,
+}
+
+impl ObsvOptions {
+    /// Everything off — the benchmark default.
+    pub fn none() -> ObsvOptions {
+        ObsvOptions::default()
+    }
+
+    /// Everything on — full instrumentation.
+    pub fn all() -> ObsvOptions {
+        ObsvOptions {
+            timing: true,
+            trace: true,
+            spans: true,
+            audit: true,
+            contention: true,
+        }
+    }
+
+    /// Enables per-op latency histograms.
+    pub fn with_timing(mut self) -> Self {
+        self.timing = true;
+        self
+    }
+
+    /// Enables the structured trace ring.
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+
+    /// Enables per-op phase span attribution.
+    pub fn with_spans(mut self) -> Self {
+        self.spans = true;
+        self
+    }
+
+    /// Enables the online invariant auditor.
+    pub fn with_audit(mut self) -> Self {
+        self.audit = true;
+        self
+    }
+
+    /// Enables the lock-contention profiler.
+    pub fn with_contention(mut self) -> Self {
+        self.contention = true;
+        self
+    }
+}
+
 /// Sizing and model parameters of a system build.
 #[derive(Debug, Clone)]
 pub struct SystemConfig {
@@ -81,21 +150,8 @@ pub struct SystemConfig {
     pub journal_blocks: u64,
     /// Inode slots.
     pub inode_count: u64,
-    /// Record per-op latency histograms (off by default: experiments that
-    /// only need throughput skip the two extra clock reads per syscall).
-    pub obsv_timing: bool,
-    /// Record structured trace events into the ring (off by default).
-    pub obsv_trace: bool,
-    /// Attribute device/FS time to per-op phase spans (off by default:
-    /// the disabled span layer costs one relaxed load per hook).
-    pub obsv_spans: bool,
-    /// Run the online invariant auditor at every fsync and writeback pass
-    /// (HiNFS only; off by default — it walks the whole buffer pool).
-    pub obsv_audit: bool,
-    /// Record lock wait/hold times and stall attribution in the machine's
-    /// contention profiler (off by default: the disabled profiler costs
-    /// one relaxed load per lock acquisition).
-    pub obsv_contention: bool,
+    /// Observability switches (all off by default).
+    pub obsv: ObsvOptions,
 }
 
 impl Default for SystemConfig {
@@ -108,11 +164,7 @@ impl Default for SystemConfig {
             cache_pages: 16384,
             journal_blocks: 2048,
             inode_count: 65536,
-            obsv_timing: false,
-            obsv_trace: false,
-            obsv_spans: false,
-            obsv_audit: false,
-            obsv_contention: false,
+            obsv: ObsvOptions::none(),
         }
     }
 }
@@ -218,7 +270,7 @@ pub fn build(kind: SystemKind, cfg: &SystemConfig) -> Result<System> {
             if kind == SystemKind::HinfsWb {
                 hcfg = hcfg.wb_only();
             }
-            if cfg.obsv_audit {
+            if cfg.obsv.audit {
                 hcfg = hcfg.with_audit();
             }
             let h = Hinfs::mkfs(dev.clone(), popts, hcfg)?;
@@ -228,17 +280,7 @@ pub fn build(kind: SystemKind, cfg: &SystemConfig) -> Result<System> {
             (h.clone(), Some(h.clone()), Some(obs), Some(h as _))
         }
     };
-    if let Some(obs) = &obs {
-        obs.set_timing(cfg.obsv_timing);
-        obs.set_tracing(cfg.obsv_trace);
-    }
-    dev.spans().set_enabled(cfg.obsv_spans);
-    env.contention().set_level(if cfg.obsv_contention {
-        Level::Full
-    } else {
-        Level::Off
-    });
-    registry.register("", env.contention().clone());
+    apply_obsv(&env, &dev, &registry, obs.as_deref(), cfg);
     Ok(System {
         kind,
         fs,
@@ -249,6 +291,32 @@ pub fn build(kind: SystemKind, cfg: &SystemConfig) -> Result<System> {
         obs,
         introspect,
     })
+}
+
+/// Wires a mounted system's observability layers to the build's
+/// [`ObsvOptions`]: per-op timing and trace ring on the FS observer,
+/// span attribution on the device, and the contention profiler level on
+/// the simulation environment. Both [`build`] and [`remount_with`] end
+/// with this so the switch semantics cannot drift between first mount
+/// and remount.
+fn apply_obsv(
+    env: &Arc<SimEnv>,
+    dev: &Arc<NvmmDevice>,
+    registry: &Arc<MetricsRegistry>,
+    obs: Option<&FsObs>,
+    cfg: &SystemConfig,
+) {
+    if let Some(obs) = obs {
+        obs.set_timing(cfg.obsv.timing);
+        obs.set_tracing(cfg.obsv.trace);
+    }
+    dev.spans().set_enabled(cfg.obsv.spans);
+    env.contention().set_level(if cfg.obsv.contention {
+        Level::Full
+    } else {
+        Level::Off
+    });
+    registry.register("", env.contention().clone());
 }
 
 /// Unmounts a system and mounts it again on the same device — the
@@ -314,7 +382,7 @@ pub fn remount_with(
             if kind == SystemKind::HinfsWb {
                 hcfg = hcfg.wb_only();
             }
-            if cfg.obsv_audit {
+            if cfg.obsv.audit {
                 hcfg = hcfg.with_audit();
             }
             let h = Hinfs::mount(dev.clone(), hcfg)?;
@@ -324,17 +392,7 @@ pub fn remount_with(
             (h.clone(), Some(h.clone()), Some(obs), Some(h as _))
         }
     };
-    if let Some(obs) = &obs {
-        obs.set_timing(cfg.obsv_timing);
-        obs.set_tracing(cfg.obsv_trace);
-    }
-    dev.spans().set_enabled(cfg.obsv_spans);
-    env.contention().set_level(if cfg.obsv_contention {
-        Level::Full
-    } else {
-        Level::Off
-    });
-    registry.register("", env.contention().clone());
+    apply_obsv(&env, &dev, &registry, obs.as_deref(), cfg);
     Ok(System {
         kind,
         fs,
@@ -405,8 +463,7 @@ mod tests {
     #[test]
     fn obsv_flags_enable_histograms_and_trace() {
         let cfg = SystemConfig {
-            obsv_timing: true,
-            obsv_trace: true,
+            obsv: ObsvOptions::none().with_timing().with_trace(),
             ..SystemConfig::small()
         };
         let sys = build(SystemKind::Hinfs, &cfg).unwrap();
@@ -429,10 +486,93 @@ mod tests {
         );
     }
 
+    /// `write_vectored` must land a gather list exactly like the
+    /// equivalent contiguous write, on every system: natively on the
+    /// NVMM-aware systems (one syscall / one journal transaction for the
+    /// whole vector) and through the default per-slice loop on ext.
+    #[test]
+    fn write_vectored_matches_contiguous_write_everywhere() {
+        for kind in [
+            SystemKind::Pmfs,
+            SystemKind::Ext4Dax,
+            SystemKind::Ext2Bd,
+            SystemKind::Ext4Bd,
+            SystemKind::Hinfs,
+        ] {
+            let sys = build(kind, &SystemConfig::small()).unwrap();
+            let slices: [&[u8]; 3] = [&[0xA1; 1000], &[0xB2; 5000], &[0xC3; 300]];
+            let flat: Vec<u8> = slices.concat();
+
+            let fd = sys
+                .fs
+                .open("/v", OpenFlags::RDWR | OpenFlags::CREATE)
+                .unwrap();
+            let n = sys.fs.write_vectored(fd, 7, &slices).unwrap();
+            assert_eq!(n, flat.len(), "{}", kind.label());
+            let mut back = vec![0u8; flat.len()];
+            sys.fs.read(fd, 7, &mut back).unwrap();
+            assert_eq!(back, flat, "{}: vectored bytes", kind.label());
+            assert_eq!(sys.fs.fstat(fd).unwrap().size, 7 + flat.len() as u64);
+            sys.fs.fsync(fd).unwrap();
+            sys.fs.close(fd).unwrap();
+
+            // On an APPEND descriptor the vector lands at EOF regardless
+            // of the offset argument.
+            let fd = sys
+                .fs
+                .open("/v", OpenFlags::RDWR | OpenFlags::APPEND)
+                .unwrap();
+            let end = sys.fs.fstat(fd).unwrap().size;
+            sys.fs
+                .write_vectored(fd, 0, &[&[0xD4; 64], &[0xE5; 64]])
+                .unwrap();
+            let mut tail = vec![0u8; 128];
+            sys.fs.read(fd, end, &mut tail).unwrap();
+            assert_eq!(&tail[..64], &[0xD4; 64], "{}: append gather", kind.label());
+            assert_eq!(&tail[64..], &[0xE5; 64], "{}", kind.label());
+            sys.fs.close(fd).unwrap();
+            sys.fs.unmount().unwrap();
+        }
+    }
+
+    /// The native gather paths pay the fixed costs once: on PMFS the whole
+    /// vector commits as one journal transaction, so simulated time for a
+    /// 4-slice gather is strictly cheaper than four separate writes.
+    #[test]
+    fn native_vectored_write_is_cheaper_than_split_writes() {
+        let slices: [&[u8]; 4] = [&[1; 4096], &[2; 4096], &[3; 4096], &[4; 4096]];
+        let vectored = {
+            let sys = build(SystemKind::Pmfs, &SystemConfig::small()).unwrap();
+            let fd = sys
+                .fs
+                .open("/v", OpenFlags::RDWR | OpenFlags::CREATE)
+                .unwrap();
+            sys.env.rebase();
+            sys.fs.write_vectored(fd, 0, &slices).unwrap();
+            sys.env.now()
+        };
+        let split = {
+            let sys = build(SystemKind::Pmfs, &SystemConfig::small()).unwrap();
+            let fd = sys
+                .fs
+                .open("/v", OpenFlags::RDWR | OpenFlags::CREATE)
+                .unwrap();
+            sys.env.rebase();
+            for (i, s) in slices.iter().enumerate() {
+                sys.fs.write(fd, (i * 4096) as u64, s).unwrap();
+            }
+            sys.env.now()
+        };
+        assert!(
+            vectored < split,
+            "gather ({vectored} ns) should beat 4 writes ({split} ns)"
+        );
+    }
+
     #[test]
     fn audit_flag_runs_auditor_on_fsync() {
         let cfg = SystemConfig {
-            obsv_audit: true,
+            obsv: ObsvOptions::none().with_audit(),
             ..SystemConfig::small()
         };
         let sys = build(SystemKind::Hinfs, &cfg).unwrap();
@@ -453,7 +593,7 @@ mod tests {
     #[test]
     fn contention_flag_profiles_lock_sites() {
         let cfg = SystemConfig {
-            obsv_contention: true,
+            obsv: ObsvOptions::none().with_contention(),
             ..SystemConfig::small()
         };
         let sys = build(SystemKind::Hinfs, &cfg).unwrap();
@@ -466,11 +606,18 @@ mod tests {
         sys.fs.fsync(fd).unwrap();
         sys.fs.close(fd).unwrap();
         let snap = sys.env.contention().snapshot();
-        let pool = snap.site(obsv::Site::HinfsBufferPool);
-        assert!(pool.acquisitions > 0, "buffer-pool lock was profiled");
+        // The written file lands in one buffer shard (keyed by its ino);
+        // summed over every shard site the lock traffic must show up.
+        let shard_acqs: u64 = (0..obsv::NSHARDS)
+            .map(|i| snap.site(obsv::Site::hinfs_shard(i)).acquisitions)
+            .sum();
+        assert!(shard_acqs > 0, "buffer-shard locks were profiled");
         let reg = sys.registry.snapshot();
+        let reg_acqs: u64 = (0..obsv::NSHARDS)
+            .map(|i| reg.counter(&format!("obsv_site_hinfs_shard{i}_acquisitions")))
+            .sum();
         assert!(
-            reg.counter("obsv_site_hinfs_buffer_pool_acquisitions") > 0,
+            reg_acqs > 0,
             "contention table feeds the registry: {:?}",
             reg.counters
                 .keys()
@@ -497,7 +644,7 @@ mod tests {
         type Books = Vec<[u64; 6]>;
         fn run_once() -> (u64, Books) {
             let cfg = SystemConfig {
-                obsv_contention: true,
+                obsv: ObsvOptions::none().with_contention(),
                 ..SystemConfig::small()
             };
             let sys = build(SystemKind::Hinfs, &cfg).unwrap();
@@ -550,11 +697,7 @@ mod tests {
     fn metric_names_are_prefixed_snake_case() {
         const PREFIXES: [&str; 6] = ["hinfs_", "pmfs_", "extfs_", "nvmm_", "faultfs_", "obsv_"];
         let cfg = SystemConfig {
-            obsv_timing: true,
-            obsv_trace: true,
-            obsv_spans: true,
-            obsv_audit: true,
-            obsv_contention: true,
+            obsv: ObsvOptions::all(),
             ..SystemConfig::small()
         };
         for kind in [

@@ -148,9 +148,11 @@ fn main() {
         .map(|s| parse_kind(s))
         .unwrap_or(SystemKind::Hinfs);
 
+    let mut obsv = workloads::ObsvOptions::none();
+    obsv.audit = audit;
+    obsv.contention = contention;
     let cfg = SystemConfig {
-        obsv_audit: audit,
-        obsv_contention: contention,
+        obsv,
         ..SystemConfig::small()
     };
     let sys = build(kind, &cfg).expect("build system");
@@ -210,7 +212,7 @@ fn main() {
     if audit {
         // Exercise the online (fsync-path) auditor too: one write + fsync
         // goes through the fsync core, which self-audits when the mount
-        // was built with `obsv_audit`.
+        // was built with `ObsvOptions::with_audit()`.
         let fd = sys
             .fs
             .open(
@@ -234,7 +236,7 @@ fn main() {
             }
         }
         // The HiNFS mount also self-audits at every fsync/writeback pass
-        // when built with `obsv_audit`; surface those counters too.
+        // when built with `ObsvOptions::with_audit()`; surface those counters too.
         if let Some(obs) = &sys.obs {
             eprintln!(
                 "audit: {} online checks, {} violations",

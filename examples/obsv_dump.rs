@@ -121,11 +121,7 @@ fn main() {
     // postmark churn crosses the writeback watermarks and forces reclaim.
     let cfg = SystemConfig {
         buffer_bytes: 1 << 20,
-        obsv_timing: true,
-        obsv_trace: true,
-        obsv_spans: true,
-        obsv_audit: true,
-        obsv_contention: true,
+        obsv: workloads::ObsvOptions::all(),
         ..SystemConfig::small()
     };
     let sys = build(SystemKind::Hinfs, &cfg).expect("build hinfs");

@@ -71,6 +71,38 @@ while read -r key bval; do
     fi
 done <<<"$base_keys"
 
+# Scaling-ratio pass: threads=8 ÷ threads=1 per headline cell must not
+# drop more than max_regress_pct below the baseline's ratio. Absolute
+# throughput can hold steady while the multicore win quietly evaporates
+# (e.g. a new global lock that slows only the 8-thread cell); the
+# per-key pass above would report each cell within limits while the
+# scaling curve flattens. Only cells where the baseline carries both
+# thread endpoints are gated.
+cells=$(awk '{ if (sub(/::threads=1::ops_per_s$/, "", $1)) print $1 }' <<<"$base_keys" | sort -u)
+for cell in $cells; do
+    bt1=$(awk -v k="$cell::threads=1::ops_per_s" '$1 == k { print $2 }' <<<"$base_keys")
+    bt8=$(awk -v k="$cell::threads=8::ops_per_s" '$1 == k { print $2 }' <<<"$base_keys")
+    ct1=$(extract "$cand" | awk -v k="$cell::threads=1::ops_per_s" '$1 == k { print $2 }')
+    ct8=$(extract "$cand" | awk -v k="$cell::threads=8::ops_per_s" '$1 == k { print $2 }')
+    # Missing candidate keys already FAILed in the per-key pass; missing
+    # baseline endpoints mean the sweep predates this gate.
+    [[ -z "$bt1" || -z "$bt8" || -z "$ct1" || -z "$ct8" ]] && continue
+    verdict=$(awk -v b1="$bt1" -v b8="$bt8" -v c1="$ct1" -v c8="$ct8" -v m="$max_pct" 'BEGIN {
+        if (b1 <= 0 || c1 <= 0) { print "ok 0.0 0.0 0.0"; exit }
+        br = b8 / b1; cr = c8 / c1
+        delta = (cr - br) * 100.0 / br
+        if (delta < -m) printf "fail %.2f %.2f %.1f\n", br, cr, delta
+        else printf "ok %.2f %.2f %.1f\n", br, cr, delta
+    }')
+    read -r status br cr delta <<<"$verdict"
+    if [[ "$status" == "fail" ]]; then
+        echo "bench_check: FAIL $cell scaling t8/t1 ${br}x -> ${cr}x (${delta}%, limit -${max_pct}%)"
+        fail=1
+    else
+        echo "bench_check: ok   $cell scaling t8/t1 ${br}x -> ${cr}x (${delta}%)"
+    fi
+done
+
 # New-key pass: candidate keys the baseline does not carry are reported
 # but never gated (the baseline predates them).
 while read -r key _cval; do

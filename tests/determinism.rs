@@ -7,7 +7,7 @@ use std::sync::Arc;
 use hinfs_suite::prelude::*;
 use workloads::filebench::{FilebenchParams, Fileserver, Varmail};
 use workloads::fileset::{Fileset, FilesetSpec};
-use workloads::setups::{build, SystemConfig, SystemKind};
+use workloads::setups::{build, ObsvOptions, SystemConfig, SystemKind};
 use workloads::traces::{TraceReplay, USR0};
 use workloads::RunReport;
 
@@ -22,9 +22,12 @@ fn one_run_with(kind: SystemKind, seed: u64, observed: bool, audited: bool) -> R
         cache_pages: 512,
         journal_blocks: 256,
         inode_count: 4096,
-        obsv_timing: observed,
-        obsv_spans: observed,
-        obsv_audit: audited,
+        obsv: ObsvOptions {
+            timing: observed,
+            spans: observed,
+            audit: audited,
+            ..ObsvOptions::none()
+        },
         ..SystemConfig::default()
     };
     let sys = build(kind, &cfg).unwrap();
