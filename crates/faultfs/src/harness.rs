@@ -27,7 +27,7 @@ use extfs::{ExtMode, ExtOptions, Extfs};
 use fskit::{FileSystem, FsError, OpenFlags};
 use hinfs::{Hinfs, HinfsConfig};
 use nvmm::{BoundaryRec, CostModel, CrashSignal, FaultPlan, InjectedFault, NvmmDevice, SimEnv};
-use obsv::{AuditReport, Introspect, TraceEvent, TraceRing};
+use obsv::{AuditReport, FsObs, Introspect, TraceEvent, TraceRing};
 use pmfs::{Pmfs, PmfsOptions};
 
 use crate::oracle::Oracle;
@@ -35,14 +35,14 @@ use crate::script::{dir_path, file_path, FsKind, Op, Script};
 use crate::FaultStats;
 
 /// Backing device size for harness images.
-const DEV_BYTES: usize = 8 << 20;
+pub(crate) const DEV_BYTES: usize = 8 << 20;
 
 /// How far one [`Op::Tick`] advances the background clock (comfortably
 /// past the 5 s periodic writeback/commit interval).
 const TICK_ADVANCE_NS: u64 = 6_000_000_000;
 
 /// Small-format options so journal-pressure paths are reachable.
-fn pmfs_opts() -> PmfsOptions {
+pub(crate) fn pmfs_opts() -> PmfsOptions {
     PmfsOptions {
         journal_blocks: 64,
         inode_count: 128,
@@ -58,18 +58,23 @@ fn ext_opts() -> ExtOptions {
     }
 }
 
-fn hinfs_cfg() -> HinfsConfig {
+pub(crate) fn hinfs_cfg() -> HinfsConfig {
     HinfsConfig {
         buffer_bytes: 1 << 20,
         ..HinfsConfig::default()
     }
 }
 
-/// A freshly formatted instance plus the handles the harness needs.
-struct Built {
-    fs: Arc<dyn FileSystem>,
-    dev: Arc<NvmmDevice>,
-    env: Arc<SimEnv>,
+/// A freshly formatted instance plus the handles the harness needs. The
+/// concrete observability and introspection handles are captured before
+/// the file system is erased to `dyn FileSystem`, so the fuzzer can read
+/// trace/state coverage off any kind uniformly.
+pub(crate) struct Built {
+    pub(crate) fs: Arc<dyn FileSystem>,
+    pub(crate) dev: Arc<NvmmDevice>,
+    pub(crate) env: Arc<SimEnv>,
+    pub(crate) obs: Arc<FsObs>,
+    pub(crate) intro: Arc<dyn Introspect>,
 }
 
 /// Outcome of one crash-recover-check cycle.
@@ -181,19 +186,32 @@ impl Harness {
     }
 
     /// Formats a fresh image of `kind` on a new virtual-time device.
-    fn build(&self, kind: FsKind) -> Built {
+    pub(crate) fn build(&self, kind: FsKind) -> Built {
         let env = SimEnv::new_virtual(CostModel::default());
         let dev = NvmmDevice::new_tracked(env.clone(), DEV_BYTES);
-        let fs: Arc<dyn FileSystem> = match kind {
-            FsKind::Hinfs => Hinfs::mkfs(dev.clone(), pmfs_opts(), hinfs_cfg())
-                .expect("hinfs mkfs on a fresh device"),
-            FsKind::Pmfs => {
-                Pmfs::mkfs(dev.clone(), pmfs_opts()).expect("pmfs mkfs on a fresh device")
+        let (fs, obs, intro): (Arc<dyn FileSystem>, Arc<FsObs>, Arc<dyn Introspect>) = match kind {
+            FsKind::Hinfs => {
+                let fs = Hinfs::mkfs(dev.clone(), pmfs_opts(), hinfs_cfg())
+                    .expect("hinfs mkfs on a fresh device");
+                (fs.clone(), fs.obs().clone(), fs)
             }
-            FsKind::Ext4 => Extfs::mkfs(dev.clone(), ExtMode::Ext4, ext_opts())
-                .expect("ext4 mkfs on a fresh device"),
+            FsKind::Pmfs => {
+                let fs = Pmfs::mkfs(dev.clone(), pmfs_opts()).expect("pmfs mkfs on a fresh device");
+                (fs.clone(), fs.obs().clone(), fs)
+            }
+            FsKind::Ext4 => {
+                let fs = Extfs::mkfs(dev.clone(), ExtMode::Ext4, ext_opts())
+                    .expect("ext4 mkfs on a fresh device");
+                (fs.clone(), fs.obs().clone(), fs)
+            }
         };
-        Built { fs, dev, env }
+        Built {
+            fs,
+            dev,
+            env,
+            obs,
+            intro,
+        }
     }
 
     /// Remounts `dev` after a crash, returning the file system, the
@@ -499,7 +517,7 @@ impl SweepOutcome {
 
 /// Evenly strided selection of 1-based crash points: all of them when the
 /// schedule fits under `cap`, else `cap` points including both ends.
-fn pick_points(total: u64, cap: usize) -> Vec<u64> {
+pub(crate) fn pick_points(total: u64, cap: usize) -> Vec<u64> {
     if total == 0 {
         // Fully volatile replay (possible on the buffered systems): a
         // single run whose armed boundary never fires still power-fails

@@ -26,11 +26,15 @@
 //! assert!(out.violations.is_empty(), "{:?}", out.violations);
 //! ```
 
+pub mod fuzz;
 pub mod harness;
+pub mod model;
 pub mod oracle;
 pub mod script;
 
+pub use fuzz::{differential, shrink_differential, FuzzConfig, FuzzOutcome, Fuzzer, Repro};
 pub use harness::{exec_op, Harness, RunOutcome, SweepConfig, SweepOutcome};
+pub use model::{ModelBug, RefModel};
 pub use nvmm::InjectedFault;
 pub use oracle::{CheckReport, Oracle};
 pub use script::{dir_path, file_path, FsKind, Op, Script};

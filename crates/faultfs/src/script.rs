@@ -91,6 +91,122 @@ pub enum Op {
     Tick,
 }
 
+impl Op {
+    /// Draws one random operation with the sweep distribution (favouring
+    /// writes and fsyncs, reaching every kind). Shared by
+    /// [`Script::random`] and the fuzzer's insertion mutator, so both
+    /// sample the same op space.
+    pub fn random(rng: &mut rand::rngs::SmallRng) -> Op {
+        let file = rng.gen_range(0..MAX_FILES);
+        let fill = rng.gen_range(1u8..=255);
+        match rng.gen_range(0u32..23) {
+            0..=2 => Op::Create { file },
+            3..=8 => Op::Write {
+                file,
+                off: rng.gen_range(0u64..32 * 1024),
+                len: rng.gen_range(1..=MAX_IO),
+                fill,
+            },
+            9..=11 => Op::Append {
+                file,
+                len: rng.gen_range(1..=MAX_IO),
+                fill,
+            },
+            12..=15 => Op::Fsync { file },
+            16 => Op::Truncate {
+                file,
+                size: rng.gen_range(0u64..40 * 1024),
+            },
+            17 => Op::Unlink { file },
+            18 => Op::Rename {
+                from: file,
+                to: rng.gen_range(0..MAX_FILES),
+            },
+            19 => Op::Mkdir {
+                dir: rng.gen_range(0..MAX_DIRS),
+            },
+            20 => Op::Rmdir {
+                dir: rng.gen_range(0..MAX_DIRS),
+            },
+            21 => Op::Sync,
+            _ => Op::Tick,
+        }
+    }
+
+    /// One-line text form, the unit of the committed repro scripts:
+    /// `write f1 4096 512 7` is a 512-byte write of fill `7` at offset
+    /// 4096 into `/f1`. [`Op::parse`] round-trips it.
+    pub fn to_text(&self) -> String {
+        match *self {
+            Op::Create { file } => format!("create f{file}"),
+            Op::Write {
+                file,
+                off,
+                len,
+                fill,
+            } => format!("write f{file} {off} {len} {fill}"),
+            Op::Append { file, len, fill } => format!("append f{file} {len} {fill}"),
+            Op::Fsync { file } => format!("fsync f{file}"),
+            Op::Truncate { file, size } => format!("truncate f{file} {size}"),
+            Op::Unlink { file } => format!("unlink f{file}"),
+            Op::Rename { from, to } => format!("rename f{from} f{to}"),
+            Op::Mkdir { dir } => format!("mkdir d{dir}"),
+            Op::Rmdir { dir } => format!("rmdir d{dir}"),
+            Op::Sync => "sync".to_string(),
+            Op::Tick => "tick".to_string(),
+        }
+    }
+
+    /// Parses the [`Op::to_text`] form. `None` on any malformed input.
+    pub fn parse(line: &str) -> Option<Op> {
+        fn slot(tok: &str, prefix: char, max: u8) -> Option<u8> {
+            let id: u8 = tok.strip_prefix(prefix)?.parse().ok()?;
+            (id < max).then_some(id)
+        }
+        let mut t = line.split_whitespace();
+        let op = match t.next()? {
+            "create" => Op::Create {
+                file: slot(t.next()?, 'f', MAX_FILES)?,
+            },
+            "write" => Op::Write {
+                file: slot(t.next()?, 'f', MAX_FILES)?,
+                off: t.next()?.parse().ok()?,
+                len: t.next()?.parse().ok()?,
+                fill: t.next()?.parse().ok()?,
+            },
+            "append" => Op::Append {
+                file: slot(t.next()?, 'f', MAX_FILES)?,
+                len: t.next()?.parse().ok()?,
+                fill: t.next()?.parse().ok()?,
+            },
+            "fsync" => Op::Fsync {
+                file: slot(t.next()?, 'f', MAX_FILES)?,
+            },
+            "truncate" => Op::Truncate {
+                file: slot(t.next()?, 'f', MAX_FILES)?,
+                size: t.next()?.parse().ok()?,
+            },
+            "unlink" => Op::Unlink {
+                file: slot(t.next()?, 'f', MAX_FILES)?,
+            },
+            "rename" => Op::Rename {
+                from: slot(t.next()?, 'f', MAX_FILES)?,
+                to: slot(t.next()?, 'f', MAX_FILES)?,
+            },
+            "mkdir" => Op::Mkdir {
+                dir: slot(t.next()?, 'd', MAX_DIRS)?,
+            },
+            "rmdir" => Op::Rmdir {
+                dir: slot(t.next()?, 'd', MAX_DIRS)?,
+            },
+            "sync" => Op::Sync,
+            "tick" => Op::Tick,
+            _ => return None,
+        };
+        t.next().is_none().then_some(op)
+    }
+}
+
 /// Path of file slot `id`.
 pub fn file_path(id: u8) -> String {
     format!("/f{id}")
@@ -123,41 +239,7 @@ impl Script {
         // non-trivial namespace.
         ops.push(Op::Create { file: 0 });
         while ops.len() < n_ops + 1 {
-            let file = rng.gen_range(0..MAX_FILES);
-            let fill = rng.gen_range(1u8..=255);
-            let op = match rng.gen_range(0u32..23) {
-                0..=2 => Op::Create { file },
-                3..=8 => Op::Write {
-                    file,
-                    off: rng.gen_range(0u64..32 * 1024),
-                    len: rng.gen_range(1..=MAX_IO),
-                    fill,
-                },
-                9..=11 => Op::Append {
-                    file,
-                    len: rng.gen_range(1..=MAX_IO),
-                    fill,
-                },
-                12..=15 => Op::Fsync { file },
-                16 => Op::Truncate {
-                    file,
-                    size: rng.gen_range(0u64..40 * 1024),
-                },
-                17 => Op::Unlink { file },
-                18 => Op::Rename {
-                    from: file,
-                    to: rng.gen_range(0..MAX_FILES),
-                },
-                19 => Op::Mkdir {
-                    dir: rng.gen_range(0..MAX_DIRS),
-                },
-                20 => Op::Rmdir {
-                    dir: rng.gen_range(0..MAX_DIRS),
-                },
-                21 => Op::Sync,
-                _ => Op::Tick,
-            };
-            ops.push(op);
+            ops.push(Op::random(&mut rng));
         }
         Script { ops }
     }
@@ -176,6 +258,27 @@ mod tests {
         assert_ne!(a, c);
         assert_eq!(a.ops.len(), 21);
         assert_eq!(a.ops[0], Op::Create { file: 0 });
+    }
+
+    #[test]
+    fn op_text_round_trips() {
+        for op in Script::random(0xBEEF, 200).ops {
+            let line = op.to_text();
+            assert_eq!(Op::parse(&line), Some(op), "round-trip of {line:?}");
+        }
+        assert_eq!(Op::parse("sync"), Some(Op::Sync));
+        assert_eq!(Op::parse("  tick  "), Some(Op::Tick));
+        for bad in [
+            "",
+            "write f0 1",
+            "create f9",
+            "create d0",
+            "mkdir d5",
+            "sync extra",
+            "chmod f0",
+        ] {
+            assert_eq!(Op::parse(bad), None, "{bad:?} must not parse");
+        }
     }
 
     #[test]

@@ -916,10 +916,20 @@ impl FileSystem for Hinfs {
 
     fn rename(&self, from: &str, to: &str) -> Result<()> {
         self.relieve_for_namespace();
-        // Replacing an existing destination discards its buffered data.
+        // Replacing an existing destination discards its buffered data —
+        // but only a rename that actually replaces it may do so: with a
+        // missing source the rename fails, and with `from == to` it is a
+        // no-op, and in both cases the destination (and its not-yet-
+        // written-back DRAM blocks) must survive intact.
         if let Some(h) = self.peek_file(to) {
-            let _guard = h.state.write();
-            self.drop_buffers(h.ino);
+            let replacing = match self.peek_file(from) {
+                Some(src) => src.ino != h.ino,
+                None => false,
+            };
+            if replacing {
+                let _guard = h.state.write();
+                self.drop_buffers(h.ino);
+            }
         }
         self.inner.rename(from, to)
     }

@@ -17,6 +17,7 @@
 //! hook.
 
 mod contention;
+mod coverage;
 mod histo;
 mod registry;
 mod snapshot;
@@ -29,6 +30,7 @@ pub use contention::{
     ALL_SITES, HINFS_SHARD_SITES, NSHARDS, NSITES, PMFS_ALLOC_SHARD_SITES, PMFS_INODE_SHARD_SITES,
     PMFS_NS_SHARD_SITES,
 };
+pub use coverage::{mag_bucket, CoverageDomain, CoverageMap, COVERAGE_DOMAINS};
 pub use histo::{bucket_of, bucket_upper, Histo, HistoSnapshot, N_BUCKETS, SUB_BUCKETS};
 pub use registry::{Counter, MetricSource, MetricsRegistry, RegistrySnapshot, Visitor};
 pub use snapshot::{

@@ -1,0 +1,165 @@
+//! Coverage-guided scenario fuzzer over every file system in the suite:
+//!
+//! ```text
+//! cargo run --release --example fuzz_fs -- [--seed N] [--iters N] \
+//!     [--crash-points N] [--self-test] [--write-repros DIR]
+//! ```
+//!
+//! The campaign seeds a corpus of scripted runs (the same shape the
+//! `tests/` sweeps replay), then mutates it under coverage feedback:
+//! every case runs the three-way differential (HiNFS, PMFS, EXT4 against
+//! the shared reference model in `faultfs::model`), and cases that earn
+//! new coverage points — trace-ring event kinds, contention-site first
+//! hits, invariant-auditor state classes, crash shapes, per-op outcome
+//! classes — also get a bounded crash-schedule sweep judged by the
+//! durability oracle. Any violation is auto-shrunk (delta-debugging over
+//! ops, then crash points) into a replayable reproducer.
+//!
+//! Everything is derived from `--seed` on the virtual clock, so stdout is
+//! byte-identical across runs with the same flags — `scripts/fuzz_soak.sh`
+//! diffs two runs to prove it. The campaign must also reach strictly more
+//! distinct coverage points than replaying the seed corpus alone; the
+//! process exits non-zero otherwise.
+//!
+//! `--self-test` is the negative gate: it plants a deliberate bug in the
+//! reference model (`ModelBug::TruncateExtendLost`), demands the campaign
+//! catch it within the iteration budget, and prints the shrunk fixed-point
+//! reproducer of a seeded known-bad script so the soak script can diff it
+//! against the committed fixture in `tests/repro/`.
+//!
+//! Exit codes: 0 clean, 1 usage/self-test failure, 2 real violations
+//! found (reproducers printed and, with `--write-repros`, written out).
+
+use faultfs::fuzz::{known_bad_script, shrink_differential};
+use faultfs::{FsKind, FuzzConfig, Fuzzer, Harness, ModelBug, Repro};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: fuzz_fs [--seed N] [--iters N] [--crash-points N] [--self-test] \
+         [--write-repros DIR]"
+    );
+    std::process::exit(1);
+}
+
+fn main() {
+    let mut cfg = FuzzConfig::default();
+    let mut self_test = false;
+    let mut repro_dir: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let num = |a: Option<String>| -> u64 {
+            a.and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+        };
+        match arg.as_str() {
+            "--seed" => cfg.seed = num(args.next()),
+            "--iters" => cfg.iterations = num(args.next()) as usize,
+            "--crash-points" => cfg.crash_points = num(args.next()) as usize,
+            "--self-test" => self_test = true,
+            "--write-repros" => repro_dir = Some(args.next().unwrap_or_else(|| usage())),
+            _ => usage(),
+        }
+    }
+
+    if self_test {
+        run_self_test(cfg);
+        return;
+    }
+
+    println!(
+        "== fuzz campaign: seed={:#x} seeds={} iters={} crash_points<={} ==",
+        cfg.seed, cfg.seed_scripts, cfg.iterations, cfg.crash_points
+    );
+    let out = Fuzzer::new(cfg).run();
+    println!("baseline (seed corpus replay): {}", out.baseline.summary());
+    println!("campaign: {}", out.coverage.summary());
+    println!(
+        "corpus={} diff_legs={} crash_runs={} oracle_checks={}",
+        out.corpus_size, out.diff_legs, out.crash_runs, out.oracle_checks
+    );
+    println!("coverage digest: {:016x}", out.coverage.digest());
+    let gained = out.coverage.len() - out.baseline.len();
+    println!(
+        "coverage gain: +{gained} points over the scripted baseline ({} -> {})",
+        out.baseline.len(),
+        out.coverage.len()
+    );
+    if gained == 0 {
+        eprintln!("FAIL: the campaign earned no coverage beyond the seed corpus");
+        std::process::exit(1);
+    }
+    if out.repros.is_empty() {
+        println!("no violations: every case agreed with the model and the oracle");
+        return;
+    }
+    eprintln!("FOUND {} violation reproducer(s):", out.repros.len());
+    for r in &out.repros {
+        eprintln!("---\n{}", r.to_text());
+        if let Some(dir) = &repro_dir {
+            let path = format!("{dir}/{}.repro", r.name);
+            std::fs::write(&path, r.to_text()).expect("write repro");
+            eprintln!("wrote {path}");
+        }
+    }
+    std::process::exit(2);
+}
+
+fn run_self_test(mut cfg: FuzzConfig) {
+    let bug = ModelBug::TruncateExtendLost { threshold: 16_384 };
+    cfg.bug = Some(bug);
+    println!(
+        "== negative self-test: planted {:?}, seed={:#x}, budget {} iters ==",
+        bug, cfg.seed, cfg.iterations
+    );
+
+    // 1. The campaign itself must catch the planted model bug within its
+    //    iteration budget and shrink it to committed-quality reproducers.
+    let out = Fuzzer::new(cfg).run();
+    if out.repros.is_empty() {
+        eprintln!("FAIL: campaign did not catch the planted model bug in budget");
+        std::process::exit(1);
+    }
+    println!(
+        "campaign caught the planted bug: {} reproducer(s), largest {} ops",
+        out.repros.len(),
+        out.repros.iter().map(|r| r.script.ops.len()).max().unwrap()
+    );
+    for r in &out.repros {
+        if r.script.ops.len() > 3 {
+            eprintln!(
+                "FAIL: reproducer {} did not shrink (still {} ops)",
+                r.name,
+                r.script.ops.len()
+            );
+            std::process::exit(1);
+        }
+    }
+
+    // 2. Shrinker fixed point: the seeded known-bad script must reduce to
+    //    the same byte-identical reproducer every run — the soak script
+    //    diffs the text below against tests/repro/selftest_truncate_extend.repro.
+    let h = Harness::new();
+    let ops = known_bad_script();
+    let repro: Repro = shrink_differential(&h, FsKind::Pmfs, &ops, Some(bug), 400)
+        .expect("the known-bad script must fail the differential");
+    if repro.script.ops.len() > 2 {
+        eprintln!(
+            "FAIL: known-bad script shrank to {} ops, want <= 2",
+            repro.script.ops.len()
+        );
+        std::process::exit(1);
+    }
+    let again = shrink_differential(&h, FsKind::Pmfs, &repro.script.ops, Some(bug), 400)
+        .expect("the shrunk script must still fail");
+    if again.script.ops != repro.script.ops {
+        eprintln!("FAIL: shrinking is not a fixed point");
+        std::process::exit(1);
+    }
+    println!(
+        "shrunk fixed-point reproducer ({} ops):",
+        repro.script.ops.len()
+    );
+    println!("--- repro ---");
+    print!("{}", repro.to_text());
+    println!("--- end repro ---");
+    println!("self-test OK");
+}

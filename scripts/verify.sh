@@ -32,6 +32,13 @@ run cargo test -q $OFFLINE
 # exits non-zero on any oracle violation or panic).
 run cargo run --release $OFFLINE --example crash_recovery
 
+# Coverage-guided fuzz soak: a seed- and iteration-capped campaign that
+# must (1) be byte-reproducible, (2) reach strictly more coverage than
+# replaying the scripted seed corpus, with zero violations, and (3) catch
+# a deliberately planted reference-model bug and shrink it to the exact
+# committed fixture (the negative test proving the gate gates).
+run scripts/fuzz_soak.sh $OFFLINE
+
 # State introspection gate: run the quick-scale fileserver workload with
 # the online invariant auditor on; exits non-zero on any audit violation
 # or any snapshot-vs-registry disagreement.

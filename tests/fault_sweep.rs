@@ -9,7 +9,14 @@
 //! right operations — never a panic, never an oracle violation after the
 //! fault is lifted and the image is crashed and recovered.
 
+use std::collections::HashSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
 use faultfs::{FsKind, Harness, InjectedFault, Op, Script, SweepConfig};
+use fskit::{FileSystem, FsError, OpenFlags};
+use nvmm::{CostModel, FaultPlan, NvmmDevice, SimEnv};
+use pmfs::{Pmfs, PmfsOptions};
 use proptest::prelude::*;
 
 fn sweep_cfg() -> SweepConfig {
@@ -170,6 +177,167 @@ fn stress_many_seeds_all_kinds() {
             );
         }
     }
+}
+
+/// Mounts a small PMFS and appends to one file until at least one
+/// allocator shard is completely drained: from here on every further
+/// allocation runs the PR-7 steal-on-empty path. Returns the device, the
+/// mounted fs and the open fd.
+fn pmfs_in_steal_regime() -> (Arc<NvmmDevice>, Arc<Pmfs>, fskit::Fd) {
+    let env = SimEnv::new_virtual(CostModel::default());
+    let dev = NvmmDevice::new_tracked(env.clone(), 8 << 20);
+    let fs = Pmfs::mkfs(
+        dev.clone(),
+        PmfsOptions {
+            journal_blocks: 64,
+            inode_count: 128,
+        },
+    )
+    .unwrap();
+    let fd = fs
+        .open("/big", OpenFlags::RDWR | OpenFlags::CREATE)
+        .unwrap();
+    let mut guard = 0u32;
+    while fs.allocator().free_blocks_by_shard().iter().all(|&f| f > 0) {
+        fs.append(fd, &[0x42u8; 4096]).unwrap();
+        guard += 1;
+        assert!(guard < 4096, "filled the device without draining a shard");
+    }
+    assert!(
+        fs.free_blocks() > 8,
+        "no headroom left for the steal phase (free {})",
+        fs.free_blocks()
+    );
+    (dev, fs, fd)
+}
+
+/// Exact block accounting after a remount: draining the rebuilt allocator
+/// yields exactly `free_blocks()` distinct data-area blocks and then a
+/// clean NoSpace — so free + reachable == data_blocks, with nothing
+/// leaked, nothing double-counted. Freeing the drained blocks restores
+/// the count (free panics on double free, proving ownership).
+fn assert_exact_accounting(fs: &Pmfs) {
+    let free = fs.free_blocks();
+    let data = fs.layout().data_blocks();
+    assert!(free < data, "the recovered tree must reach some blocks");
+    let alloc = fs.allocator();
+    let mut got = HashSet::new();
+    let mut n = 0u64;
+    while let Ok(b) = alloc.alloc() {
+        assert!(got.insert(b), "block {b} handed out twice");
+        n += 1;
+        assert!(n <= free, "allocator over-delivered: {n} > free {free}");
+    }
+    assert_eq!(n, free, "allocator under-delivered against its own books");
+    assert_eq!(alloc.alloc().unwrap_err(), FsError::NoSpace);
+    for &b in &got {
+        alloc.free(b);
+    }
+    assert_eq!(fs.free_blocks(), free, "drain+refill must be lossless");
+}
+
+/// ENOSPC injected while the allocator is in the steal regime: the append
+/// fails with a clean NoSpace (no panic, no leaked reservation); lifting
+/// the fault lets the same append succeed *through a steal*; and after a
+/// crash + remount the rebuilt bitmap accounts for every block exactly.
+#[test]
+fn enospc_during_steal_is_clean_and_books_stay_exact() {
+    let (dev, fs, fd) = pmfs_in_steal_regime();
+    let plan = FaultPlan::new();
+    dev.fault_hook().install(plan.clone());
+    plan.set_fail_alloc(true);
+    let free_before = fs.free_blocks();
+    let res = catch_unwind(AssertUnwindSafe(|| fs.append(fd, &[0x77u8; 4096])))
+        .expect("injected ENOSPC during steal must not panic");
+    assert_eq!(res.unwrap_err(), FsError::NoSpace);
+    assert_eq!(
+        fs.free_blocks(),
+        free_before,
+        "a failed allocation must not leak blocks"
+    );
+    // Lifted: the very same append now succeeds, served by steal-on-empty
+    // (the preferred shard may be one of the drained ones).
+    plan.set_fail_alloc(false);
+    fs.append(fd, &[0x88u8; 4096]).unwrap();
+    dev.fault_hook().clear();
+    let size = fs.stat("/big").unwrap().size;
+
+    // Power-fail and remount: PMFS acks are durable, and the recovery
+    // walk must rebuild exact accounting.
+    drop(fs);
+    dev.crash();
+    let fs2 = Pmfs::mount(dev.clone()).unwrap();
+    assert_eq!(fs2.stat("/big").unwrap().size, size);
+    assert!(obsv::Introspect::audit(&*fs2).is_clean());
+    assert_exact_accounting(&fs2);
+}
+
+/// Power failure in the middle of an append whose allocation steals from
+/// a neighbour shard: recovery must roll the open transaction back (the
+/// acknowledged size survives, the in-flight append does not), the
+/// rebuilt bitmap must account for every block exactly, and a second
+/// clean remount must agree with the first.
+#[test]
+fn crash_during_steal_rebuilds_exact_accounting() {
+    let _quiet = Harness::new(); // installs the quiet CrashSignal panic hook
+
+    // Pass 1 (record): count the persistence boundaries one steal-path
+    // append crosses. The whole setup runs on the virtual clock, so the
+    // schedule is identical across builds.
+    let n_boundaries = {
+        let (dev, fs, fd) = pmfs_in_steal_regime();
+        let plan = FaultPlan::new();
+        dev.fault_hook().install(plan.clone());
+        plan.start_recording();
+        fs.append(fd, &[0x99u8; 4096]).unwrap();
+        let n = plan.stop_recording().iter().filter(|b| b.index > 0).count() as u64;
+        assert!(n >= 3, "a steal-path append crossed only {n} boundaries");
+        n
+    };
+
+    // Pass 2 (crash): rebuild the identical regime and power-fail at the
+    // second-to-last boundary — inside the append's undo transaction,
+    // after its journal entries persisted but before the commit record.
+    let (dev, fs, fd) = pmfs_in_steal_regime();
+    let size_acked = fs.stat("/big").unwrap().size;
+    let plan = FaultPlan::new();
+    dev.fault_hook().install(plan.clone());
+    plan.arm_crash(n_boundaries - 1);
+    let res = catch_unwind(AssertUnwindSafe(|| fs.append(fd, &[0x99u8; 4096])));
+    match res {
+        Err(payload) => assert!(
+            payload.downcast_ref::<nvmm::CrashSignal>().is_some(),
+            "foreign panic during steal-path append"
+        ),
+        Ok(_) => panic!("the armed crash must fire inside the append"),
+    }
+    dev.fault_hook().clear();
+    drop(fs);
+    dev.crash();
+
+    let fs2 = Pmfs::mount(dev.clone()).unwrap();
+    assert!(
+        fs2.recovery_stats().txs_undone > 0,
+        "the mid-steal append must have left an open transaction to undo"
+    );
+    assert_eq!(
+        fs2.stat("/big").unwrap().size,
+        size_acked,
+        "acknowledged size must survive, the crashed append must not"
+    );
+    assert!(obsv::Introspect::audit(&*fs2).is_clean());
+    assert_exact_accounting(&fs2);
+
+    // Clean unmount persists the bitmap; the next mount loads it and must
+    // agree with the rebuild to the block.
+    let free = fs2.free_blocks();
+    fs2.unmount().unwrap();
+    let fs3 = Pmfs::mount(dev).unwrap();
+    assert_eq!(
+        fs3.free_blocks(),
+        free,
+        "persisted bitmap disagrees with rebuild"
+    );
 }
 
 #[test]

@@ -1,9 +1,12 @@
-//! Property-based model testing: random operation sequences against an
-//! in-memory reference model, on HiNFS and the ext4 baseline. Catches
-//! read-consistency bugs in the DRAM/NVMM stitching and the page cache.
+//! Property-based model testing: random operation sequences against the
+//! shared in-memory reference model (`faultfs::RefModel` — the same model
+//! the coverage-guided fuzzer checks differentially), on HiNFS and the
+//! ext4 baseline. Catches read-consistency bugs in the DRAM/NVMM
+//! stitching and the page cache.
 
 use std::collections::HashMap;
 
+use faultfs::RefModel;
 use hinfs_suite::prelude::*;
 use proptest::prelude::*;
 use workloads::setups::{build, SystemConfig, SystemKind};
@@ -50,34 +53,6 @@ fn op_strategy() -> impl Strategy<Value = Op> {
     ]
 }
 
-/// The in-memory reference: path -> contents.
-#[derive(Default)]
-struct Model {
-    files: HashMap<u8, Vec<u8>>,
-}
-
-impl Model {
-    fn write(&mut self, file: u8, off: usize, data: &[u8]) {
-        let img = self.files.entry(file).or_default();
-        if img.len() < off + data.len() {
-            img.resize(off + data.len(), 0);
-        }
-        img[off..off + data.len()].copy_from_slice(data);
-    }
-
-    fn read(&self, file: u8, off: usize, len: usize) -> Vec<u8> {
-        let img = self.files.get(&file).map(|v| v.as_slice()).unwrap_or(&[]);
-        if off >= img.len() {
-            return Vec::new();
-        }
-        img[off..(off + len).min(img.len())].to_vec()
-    }
-
-    fn truncate(&mut self, file: u8, size: usize) {
-        self.files.entry(file).or_default().resize(size, 0);
-    }
-}
-
 fn check_ops(kind: SystemKind, ops: &[Op]) {
     let cfg = SystemConfig {
         device_bytes: 32 << 20,
@@ -90,13 +65,14 @@ fn check_ops(kind: SystemKind, ops: &[Op]) {
     };
     let sys = build(kind, &cfg).unwrap();
     let fs = &sys.fs;
-    let mut model = Model::default();
+    let mut model = RefModel::new();
     let mut fds = HashMap::new();
     for file in 0u8..4 {
         let fd = fs
             .open(&format!("/p{file}"), OpenFlags::RDWR | OpenFlags::CREATE)
             .unwrap();
         fds.insert(file, fd);
+        model.create(file);
     }
     let mut now = 0u64;
     for op in ops {
@@ -115,13 +91,8 @@ fn check_ops(kind: SystemKind, ops: &[Op]) {
             Op::Append { file, len, val } => {
                 let data = vec![val; len as usize];
                 let off = fs.append(fds[&file], &data).unwrap();
-                assert_eq!(
-                    off as usize,
-                    model.files.get(&file).map_or(0, |v| v.len()),
-                    "{}: append offset",
-                    kind.label()
-                );
-                let end = model.files.get(&file).map_or(0, |v| v.len());
+                let end = model.size(file).unwrap_or(0) as usize;
+                assert_eq!(off as usize, end, "{}: append offset", kind.label());
                 model.write(file, end, &data);
             }
             Op::Read { file, off, len } => {
@@ -142,7 +113,7 @@ fn check_ops(kind: SystemKind, ops: &[Op]) {
         }
         // Size invariant after every op.
         for (file, fd) in &fds {
-            let want = model.files.get(file).map_or(0, |v| v.len()) as u64;
+            let want = model.size(*file).unwrap_or(0);
             assert_eq!(
                 fs.fstat(*fd).unwrap().size,
                 want,
@@ -153,7 +124,7 @@ fn check_ops(kind: SystemKind, ops: &[Op]) {
     }
     // Full-content check at the end.
     for (file, fd) in &fds {
-        let want = model.files.get(file).cloned().unwrap_or_default();
+        let want = model.content(*file).unwrap_or(&[]).to_vec();
         let mut got = vec![0u8; want.len()];
         fs.read(*fd, 0, &mut got).unwrap();
         assert_eq!(got, want, "{}: final content of /p{file}", kind.label());
