@@ -1,0 +1,94 @@
+//! Measures the real-time cost of the per-op flight recorder.
+//!
+//! Three angles: the raw `begin`/`finish` pair in isolation (disabled vs
+//! enabled, with the disabled side being the one-relaxed-load contract
+//! every obsv hook shares), the disabled `SpanTable::scope` hook as the
+//! reference off-path baseline the acceptance criterion compares
+//! against, and a full 4 KiB write path through HiNFS in spin mode with
+//! flight off vs on (the on path also arms timing + spans + contention,
+//! since `ObsvOptions::flight()` composes them).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fskit::OpenFlags;
+use nvmm::TimeMode;
+use obsv::{FlightRecorder, OpKind, Phase, SpanTable};
+use workloads::setups::{build, ObsvOptions, SystemConfig, SystemKind};
+
+fn cfg(flight: bool) -> SystemConfig {
+    SystemConfig {
+        device_bytes: 64 << 20,
+        mode: TimeMode::Spin,
+        buffer_bytes: 8 << 20,
+        cache_pages: 2048,
+        journal_blocks: 256,
+        inode_count: 8192,
+        obsv: if flight {
+            ObsvOptions::flight()
+        } else {
+            ObsvOptions::none()
+        },
+        ..SystemConfig::default()
+    }
+}
+
+/// The bare hook pair: `begin` + `finish` around a trivial op, with the
+/// recorder disabled (the production-default state — one relaxed load
+/// per call) and enabled (TLS frame arm + retire into the reservoir).
+fn raw_begin_finish(c: &mut Criterion) {
+    let mut g = c.benchmark_group("flight_raw");
+    g.sample_size(20);
+    for (label, enabled) in [("disabled", false), ("enabled", true)] {
+        let rec = FlightRecorder::default();
+        rec.set_enabled(enabled);
+        let mut clock = 0u64;
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                clock += 1;
+                rec.begin(OpKind::Write, clock, clock);
+                rec.finish(std::hint::black_box(17), clock);
+            })
+        });
+    }
+    // The acceptance baseline: a disabled span scope is the cheapest
+    // existing hook; disabled flight begin/finish must land in the same
+    // regime (two relaxed loads vs one).
+    let table = SpanTable::default();
+    let mut clock = 0u64;
+    g.bench_function("span_scope_disabled_baseline", |b| {
+        b.iter(|| {
+            clock += 1;
+            table.scope(Phase::Persist, || clock, || std::hint::black_box(clock))
+        })
+    });
+    g.finish();
+}
+
+/// End-to-end: a 4 KiB HiNFS write in spin mode, flight off vs on. The
+/// on side pays for the whole `ObsvOptions::flight()` preset (timing +
+/// trace + spans + contention + recorder), which is the honest cost of
+/// turning tail anatomy on for a run.
+fn write_4k(c: &mut Criterion) {
+    let mut g = c.benchmark_group("flight_write_4k");
+    g.sample_size(20);
+    for (label, flight) in [("flight_off", false), ("flight_on", true)] {
+        let sys = build(SystemKind::Hinfs, &cfg(flight)).expect("build");
+        let fd = sys
+            .fs
+            .open("/f", OpenFlags::RDWR | OpenFlags::CREATE)
+            .expect("open");
+        let data = vec![0xabu8; 4096];
+        let mut i = 0u64;
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                sys.fs.write(fd, (i % 1024) * 4096, &data).expect("write");
+                i += 1;
+            })
+        });
+        sys.fs.close(fd).expect("close");
+        sys.fs.unmount().expect("unmount");
+    }
+    g.finish();
+}
+
+criterion_group!(flight_overhead, raw_begin_finish, write_4k);
+criterion_main!(flight_overhead);

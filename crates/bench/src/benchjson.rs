@@ -8,6 +8,14 @@
 //!   `grep`/`awk` (no JSON parser required);
 //! - a `threads={1,2,4,8}` scaling sweep per headline cell
 //!   (`...::threads=<n>::ops_per_s` / `::p99_ns` keys);
+//! - flat `tail::<cell>::{p99,p999}::…` keys (schema v3): the anatomy of
+//!   the quantile's flight-recorder exemplar cohort — per-phase ns,
+//!   per-site wait ns, fence/stall/persisted counts, trace seq range —
+//!   plus a nested `tail_exemplars` section with the top individual
+//!   anatomies;
+//! - flat `span::<cell>::phase=<p>::…`, `lock::<cell>::site=<s>::…` and
+//!   `fence::<cell>::…` totals, the inputs `bench_diff` decomposes a
+//!   regression into;
 //! - per-op latency quantiles (p50/p95/p99/mean) from the [`FsObs`]
 //!   histograms of the headline runs;
 //! - the OpKind × Phase span matrix of each headline run;
@@ -21,7 +29,10 @@
 use std::fmt::Write as _;
 use std::sync::Arc;
 
-use obsv::{row_label, HistoSnapshot, SpanSnapshot, ALL_OPS, ALL_PHASES, SPAN_ROWS};
+use obsv::{
+    row_label, HistoSnapshot, SpanSnapshot, TailAnatomy, ALL_OPS, ALL_PHASES, NPHASES, NSITES,
+    SPAN_ROWS,
+};
 use workloads::fileset::Fileset;
 use workloads::runner::{RunLimit, Runner};
 use workloads::setups::{build, remount_with, System, SystemKind};
@@ -31,7 +42,7 @@ use crate::common::{Personality, Scale};
 use crate::table::Table;
 
 /// Bumped whenever the document layout changes incompatibly.
-pub const SCHEMA_VERSION: u32 = 2;
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// Thread counts of the per-cell scaling sweep.
 pub const THREADS_SWEEP: [usize; 4] = [1, 2, 4, 8];
@@ -80,6 +91,9 @@ struct Headline {
     snapshot: obsv::FsSnapshot,
     /// Lock-contention and stall profile of the run.
     contention: obsv::ContentionSnapshot,
+    /// Flight-recorder reservoirs: the slowest per-op anatomies, the
+    /// exemplars behind the `tail::` keys.
+    flight: obsv::FlightSnapshot,
     /// The threads={1,2,4,8} scaling sweep of this cell (empty until
     /// [`run_cell`] attaches it).
     sweep: Vec<SweepPoint>,
@@ -92,9 +106,10 @@ struct SweepPoint {
     p99_ns: u64,
 }
 
-/// p99 across every op kind of a run (all op histograms merged).
-fn overall_p99(obs: &Option<Arc<obsv::FsObs>>) -> u64 {
-    let Some(obs) = obs else { return 0 };
+/// Every op histogram of a run merged into one distribution (the
+/// denominator of the overall tail quantiles).
+fn merged_histo(obs: &Option<Arc<obsv::FsObs>>) -> Option<HistoSnapshot> {
+    let obs = obs.as_ref()?;
     let mut merged: Option<HistoSnapshot> = None;
     for op in ALL_OPS {
         let snap = obs.op_histo(op).snapshot();
@@ -106,7 +121,12 @@ fn overall_p99(obs: &Option<Arc<obsv::FsObs>>) -> u64 {
             None => merged = Some(snap),
         }
     }
-    merged.map(|m| m.quantile(0.99)).unwrap_or(0)
+    merged
+}
+
+/// p99 across every op kind of a run (all op histograms merged).
+fn overall_p99(obs: &Option<Arc<obsv::FsObs>>) -> u64 {
+    merged_histo(obs).map(|m| m.quantile(0.99)).unwrap_or(0)
 }
 
 /// The headline grid gated by `bench_check.sh`: the paper's central
@@ -127,10 +147,7 @@ fn run_headline(p: Personality, kind: SystemKind, scale: &Scale) -> Headline {
     // whole document) only reflects this cell's run.
     nvmm::ledger::reset();
     let mut cfg = scale.system_config(nvmm::CostModel::default());
-    cfg.obsv = workloads::ObsvOptions::none()
-        .with_timing()
-        .with_spans()
-        .with_contention();
+    cfg.obsv = workloads::ObsvOptions::flight();
     let sys = build(kind, &cfg).expect("build system");
     let set = Fileset::populate(&*sys.fs, scale.fileset_spec(), 0xF11E).expect("populate fileset");
     sys.fs.unmount().expect("unmount after populate");
@@ -145,6 +162,10 @@ fn run_headline(p: Personality, kind: SystemKind, scale: &Scale) -> Headline {
     let spans = sys.dev.spans().snapshot().since(&s0);
     let contention = sys.env.contention().snapshot();
     let obs = sys.obs.clone();
+    let flight = obs
+        .as_ref()
+        .map(|o| o.flight().snapshot())
+        .unwrap_or_default();
     let mut snapshot = sys
         .introspect
         .as_ref()
@@ -160,6 +181,7 @@ fn run_headline(p: Personality, kind: SystemKind, scale: &Scale) -> Headline {
         spans,
         snapshot,
         contention,
+        flight,
         sweep: Vec::new(),
     }
 }
@@ -241,6 +263,154 @@ fn push_headline_keys(out: &mut String, cells: &[Headline]) {
             );
         }
     }
+}
+
+/// Flat `tail::` keys (schema v3): for each cell and each of p99/p999,
+/// the quantile itself and the summed anatomy of its flight-recorder
+/// exemplar cohort — every record whose latency bucket is at or above
+/// the quantile's bucket. One key per line, greppable like `headline::`.
+fn push_tail_keys(out: &mut String, cells: &[Headline]) {
+    for h in cells {
+        let Some(merged) = merged_histo(&h.obs) else {
+            continue;
+        };
+        for (ql, q) in [("p99", 0.99), ("p999", 0.999)] {
+            let qns = merged.quantile(q);
+            let cohort = h.flight.cohort(qns);
+            let a = TailAnatomy::aggregate(cohort.iter().copied());
+            let base = format!("tail::{}::{}::{ql}", h.workload, h.system);
+            let _ = writeln!(out, "  \"{base}::ns\": {qns},");
+            let _ = writeln!(out, "  \"{base}::count\": {},", a.count);
+            let _ = writeln!(out, "  \"{base}::fences\": {},", a.fences);
+            let _ = writeln!(
+                out,
+                "  \"{base}::fences_coalesced\": {},",
+                a.fences_coalesced
+            );
+            let _ = writeln!(out, "  \"{base}::stall_events\": {},", a.stall_events);
+            let _ = writeln!(out, "  \"{base}::persisted_bytes\": {},", a.persisted_bytes);
+            let _ = writeln!(out, "  \"{base}::max_batch\": {},", a.max_batch);
+            let _ = writeln!(out, "  \"{base}::seq_lo\": {},", a.seq_lo);
+            let _ = writeln!(out, "  \"{base}::seq_hi\": {},", a.seq_hi);
+            for (p, ns) in a.top_phases(NPHASES) {
+                let _ = writeln!(out, "  \"{base}::phase={}::ns\": {ns},", p.label());
+            }
+            for (s, ns) in a.top_waits(NSITES) {
+                let _ = writeln!(out, "  \"{base}::wait::site={}::ns\": {ns},", s.label());
+            }
+        }
+    }
+}
+
+/// Flat per-cell totals for regression attribution: span time per phase
+/// (all rows, background included — interference is part of where the
+/// run's time went), lock wait per site, and fence counts. These are the
+/// columns `bench_diff` ranks a Δops_per_s blame table from.
+fn push_perf_keys(out: &mut String, cells: &[Headline]) {
+    for h in cells {
+        let cell = format!("{}::{}", h.workload, h.system);
+        for (p, ph) in ALL_PHASES.iter().enumerate() {
+            let ns: u64 = (0..SPAN_ROWS).map(|r| h.spans.ns[r][p]).sum();
+            let calls: u64 = (0..SPAN_ROWS).map(|r| h.spans.calls[r][p]).sum();
+            if ns == 0 && calls == 0 {
+                continue;
+            }
+            let _ = writeln!(out, "  \"span::{cell}::phase={}::ns\": {ns},", ph.label());
+            let _ = writeln!(
+                out,
+                "  \"span::{cell}::phase={}::calls\": {calls},",
+                ph.label()
+            );
+        }
+        for site in h.contention.touched() {
+            let w = site.wait.sum();
+            if w == 0 && site.contended == 0 {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "  \"lock::{cell}::site={}::wait_ns\": {w},",
+                site.site.label()
+            );
+            let _ = writeln!(
+                out,
+                "  \"lock::{cell}::site={}::contended\": {},",
+                site.site.label(),
+                site.contended
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  \"fence::{cell}::count\": {},",
+            h.report.device.fences
+        );
+        let _ = writeln!(
+            out,
+            "  \"fence::{cell}::coalesced\": {},",
+            h.report.device.fences_coalesced
+        );
+    }
+}
+
+/// The nested `tail_exemplars` section: the top individual anatomies of
+/// each cell's p99 cohort — what a human reads after the flat `tail::`
+/// keys named the guilty phase.
+fn push_tail_exemplars(out: &mut String, cells: &[Headline]) {
+    let _ = writeln!(out, "  \"tail_exemplars\": {{");
+    let mut first_cell = true;
+    for h in cells {
+        if !first_cell {
+            let _ = writeln!(out, ",");
+        }
+        first_cell = false;
+        let qns = merged_histo(&h.obs).map(|m| m.quantile(0.99)).unwrap_or(0);
+        let exemplars: Vec<String> = h
+            .flight
+            .cohort(qns)
+            .iter()
+            .take(3)
+            .map(|r| {
+                let phases = r
+                    .top_phases(3)
+                    .iter()
+                    .map(|(p, ns)| format!("\"{}\": {ns}", p.label()))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                let waits = r
+                    .top_waits(3)
+                    .iter()
+                    .map(|(s, ns)| format!("\"{}\": {ns}", s.label()))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                format!(
+                    "      {{\"op\": \"{}\", \"total_ns\": {}, \"at_ns\": {}, \
+                     \"seq\": [{}, {}], \"shard\": {}, \"batch\": {}, \"fences\": {}, \
+                     \"persisted_bytes\": {}, \"stall_events\": {}, \
+                     \"phases\": {{{phases}}}, \"waits\": {{{waits}}}}}",
+                    r.op.label(),
+                    r.total_ns,
+                    r.at_ns,
+                    r.seq_start,
+                    r.seq_end,
+                    if r.shard == obsv::NO_SHARD {
+                        -1
+                    } else {
+                        r.shard as i64
+                    },
+                    r.batch,
+                    r.fences,
+                    r.persisted_bytes,
+                    r.stall_events,
+                )
+            })
+            .collect();
+        let _ = writeln!(out, "    \"{}::{}\": [", h.workload, h.system);
+        let _ = write!(out, "{}", exemplars.join(",\n"));
+        let _ = writeln!(out);
+        let _ = write!(out, "    ]");
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(out, "  }},");
 }
 
 /// The per-cell contention section: per-site acquisition/wait/hold totals,
@@ -473,9 +643,12 @@ fn render(
     let _ = writeln!(out, "  \"git_rev\": \"{}\",", esc(rev));
     push_scale(&mut out, scale, scale_name);
     push_headline_keys(&mut out, cells);
+    push_tail_keys(&mut out, cells);
+    push_perf_keys(&mut out, cells);
     push_op_latency(&mut out, cells);
     push_contention(&mut out, cells);
     push_spans(&mut out, cells);
+    push_tail_exemplars(&mut out, cells);
     push_snapshot(&mut out, cells);
     push_figures(&mut out, tables);
     let _ = writeln!(out, "}}");
@@ -511,9 +684,14 @@ mod tests {
             .collect();
         let doc = render(&scale, "tiny", &[t.clone()], &cells, "deadbeef");
         for needle in [
-            "\"schema_version\": 2",
+            "\"schema_version\": 3",
             "\"git_rev\": \"deadbeef\"",
             "\"headline::fileserver::hinfs::ops_per_s\"",
+            "\"tail::fileserver::hinfs::p99::ns\"",
+            "\"tail::fileserver::hinfs::p999::ns\"",
+            "\"span::fileserver::hinfs::phase=",
+            "\"fence::fileserver::hinfs::count\"",
+            "\"tail_exemplars\"",
             "\"op_latency\"",
             "\"contention\"",
             "\"hinfs.shard0\"",
@@ -576,5 +754,88 @@ mod tests {
             .parse()
             .expect("numeric value");
         assert!(v > 0.0);
+    }
+
+    /// Conformance of the schema-v3 key families (the `tail::` extension
+    /// of the metric-name rules): flat, one per line, lowercase
+    /// snake-case segments split by `::`, numeric value, trailing comma
+    /// — and the `tail::` cohort must be non-empty with its phase sums
+    /// equal to `count × p99-ish` totals (internally consistent).
+    #[test]
+    fn tail_and_perf_keys_are_conformant_and_greppable() {
+        let scale = tiny_scale();
+        let cells: Vec<Headline> = [(Personality::Fileserver, SystemKind::Hinfs)]
+            .iter()
+            .map(|&(p, k)| run_headline(p, k, &scale))
+            .collect();
+        let doc = render(&scale, "tiny", &[], &cells, "r");
+        let flat: Vec<&str> = doc
+            .lines()
+            .filter(|l| {
+                let t = l.trim_start();
+                ["\"tail::", "\"span::", "\"lock::", "\"fence::"]
+                    .iter()
+                    .any(|p| t.starts_with(p))
+            })
+            .collect();
+        assert!(!flat.is_empty(), "no v3 flat keys emitted:\n{doc}");
+        assert!(
+            flat.iter().any(|l| l.contains("\"tail::")),
+            "no tail:: keys:\n{doc}"
+        );
+        for l in &flat {
+            let t = l.trim();
+            assert!(t.ends_with(','), "missing trailing comma: {l}");
+            let (key, val) = t
+                .trim_start_matches('"')
+                .split_once("\": ")
+                .unwrap_or_else(|| panic!("not a flat key line: {l}"));
+            val.trim_end_matches(',')
+                .parse::<f64>()
+                .unwrap_or_else(|_| panic!("non-numeric value: {l}"));
+            for seg in key.split("::") {
+                assert!(!seg.is_empty(), "empty segment in {key}");
+                assert!(
+                    seg.chars().all(|c| c.is_ascii_lowercase()
+                        || c.is_ascii_digit()
+                        || matches!(c, '_' | '=' | '.')),
+                    "non-conformant segment {seg:?} in {key}"
+                );
+            }
+            // No collision with the bench_check-gated headline family.
+            assert!(!key.starts_with("headline::"), "family collision: {key}");
+        }
+        // The p99 cohort is populated and its phase keys sum to the
+        // cohort's total latency (exclusive-time accounting carries
+        // through to the tail section).
+        let get = |k: &str| -> Option<u64> {
+            doc.lines()
+                .find(|l| l.contains(&format!("\"{k}\"")))
+                .map(|l| {
+                    l.split(':')
+                        .next_back()
+                        .unwrap()
+                        .trim()
+                        .trim_end_matches(',')
+                        .parse()
+                        .unwrap()
+                })
+        };
+        let count = get("tail::fileserver::hinfs::p99::count").expect("cohort count key");
+        assert!(count > 0, "empty p99 cohort:\n{doc}");
+        let phase_sum: u64 = doc
+            .lines()
+            .filter(|l| l.contains("\"tail::fileserver::hinfs::p99::phase="))
+            .map(|l| {
+                l.split(':')
+                    .next_back()
+                    .unwrap()
+                    .trim()
+                    .trim_end_matches(',')
+                    .parse::<u64>()
+                    .unwrap()
+            })
+            .sum();
+        assert!(phase_sum > 0, "p99 cohort has no phase attribution");
     }
 }

@@ -1,0 +1,32 @@
+//! CLI wrapper around [`hinfs_bench::diff`]: diff two BENCH_*.json
+//! documents and print a ranked blame table.
+//!
+//! Usage: `bench_diff <baseline.json> <candidate.json>`
+//!
+//! Exit status is 0 whenever both files parse — this tool explains a
+//! regression, it does not gate one (`bench_check.sh` is the gate).
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [base_path, cand_path] = args.as_slice() else {
+        eprintln!("usage: bench_diff <baseline.json> <candidate.json>");
+        return ExitCode::from(2);
+    };
+    let read = |p: &str| match std::fs::read_to_string(p) {
+        Ok(s) => Some(s),
+        Err(e) => {
+            eprintln!("bench_diff: cannot read {p}: {e}");
+            None
+        }
+    };
+    let (Some(base), Some(cand)) = (read(base_path), read(cand_path)) else {
+        return ExitCode::from(2);
+    };
+    print!(
+        "{}",
+        hinfs_bench::diff::diff_docs(&base, &cand, base_path, cand_path)
+    );
+    ExitCode::SUCCESS
+}

@@ -11,6 +11,7 @@
 
 pub mod benchjson;
 pub mod common;
+pub mod diff;
 pub mod figs;
 pub mod table;
 

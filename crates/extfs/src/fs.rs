@@ -199,8 +199,11 @@ impl Extfs {
                     return f();
                 }
                 let start = self.env.now();
+                let flight = self.obs.flight();
+                flight.begin(op, start, self.obs.trace.emitted());
                 let r = f();
                 let end = self.env.now();
+                flight.finish(end.saturating_sub(start), self.obs.trace.emitted());
                 self.obs.record_op(op, end.saturating_sub(start), start);
                 r
             },

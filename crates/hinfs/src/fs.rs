@@ -112,8 +112,11 @@ impl Hinfs {
                     return f();
                 }
                 let start = self.env.now();
+                let flight = self.obs.flight();
+                flight.begin(op, start, self.obs.trace.emitted());
                 let r = f();
                 let end = self.env.now();
+                flight.finish(end.saturating_sub(start), self.obs.trace.emitted());
                 self.obs.record_op(op, end.saturating_sub(start), start);
                 r
             },
@@ -146,7 +149,9 @@ impl Hinfs {
 
     /// The buffer shard owning `ino`.
     pub(crate) fn shard(&self, ino: u64) -> &TrackedMutex<Shared> {
-        &self.shards[self.shard_idx(ino)]
+        let idx = self.shard_idx(ino);
+        obsv::note_shard(idx as u32);
+        &self.shards[idx]
     }
 
     // ----- write path -----

@@ -217,6 +217,7 @@ impl NvmmDevice {
                 }
                 let lines = lines_touched(off, data.len());
                 self.stats.add_written((lines * CACHELINE) as u64);
+                obsv::note_persisted((lines * CACHELINE) as u64);
                 self.env.charge_dram_copy(cat, data.len());
                 self.env.nvmm_persist(cat, lines);
                 self.fault_boundary(BoundaryKind::Persist, off, lines);
@@ -278,6 +279,7 @@ impl NvmmDevice {
                 }
                 self.stats.add_flush_lines(lines as u64);
                 self.stats.add_written((lines * CACHELINE) as u64);
+                obsv::note_persisted((lines * CACHELINE) as u64);
                 self.env.nvmm_persist(cat, lines);
                 self.fault_boundary(BoundaryKind::Flush, off, lines);
             },
@@ -291,6 +293,7 @@ impl NvmmDevice {
             || self.env.now(),
             || {
                 self.stats.add_fence();
+                obsv::note_fence(1);
                 self.env.charge_fence();
                 self.fault_boundary(BoundaryKind::Fence, 0, 0);
             },
@@ -310,6 +313,7 @@ impl NvmmDevice {
                 if n > 1 {
                     self.stats.add_fences_coalesced(n - 1);
                 }
+                obsv::note_fence(n.max(1));
                 self.env.charge_fence();
                 self.fault_boundary(BoundaryKind::Fence, 0, 0);
             },
@@ -334,6 +338,7 @@ impl NvmmDevice {
                 drop(mem);
                 let lines = lines_touched(off, len);
                 self.stats.add_written((lines * CACHELINE) as u64);
+                obsv::note_persisted((lines * CACHELINE) as u64);
                 self.env.charge_dram_copy(cat, len);
                 self.env.nvmm_persist(cat, lines);
                 self.fault_boundary(BoundaryKind::Persist, off, lines);

@@ -469,6 +469,7 @@ impl ContentionTable {
                 self.sites[site as usize]
                     .contended
                     .fetch_add(1, Ordering::Relaxed);
+                crate::flight::note_wait(site, wait_ns);
             }
             Level::Full => self.record_wait(site, wait_ns),
         }
@@ -537,6 +538,7 @@ impl ContentionTable {
         let s = &self.sites[site as usize];
         s.wait.record(wait_ns);
         s.wait_by_op[current_row()].fetch_add(wait_ns, Ordering::Relaxed);
+        crate::flight::note_wait(site, wait_ns);
     }
 
     fn record_hold(&self, site: Site, hold_ns: u64) {

@@ -42,6 +42,17 @@ pub fn bucket_upper(b: usize) -> u64 {
     ((SUB_BUCKETS + sub + 1) << (h - SUB_BITS)).wrapping_sub(1)
 }
 
+/// The smallest value that maps into bucket `b` — with [`bucket_upper`],
+/// the bounds an exemplar attached to bucket `b` must fall within.
+#[inline]
+pub fn bucket_lower(b: usize) -> u64 {
+    if b == 0 {
+        0
+    } else {
+        bucket_upper(b - 1).saturating_add(1)
+    }
+}
+
 /// A concurrent histogram of `u64` samples (latencies in ns, sizes, ...).
 #[derive(Debug)]
 pub struct Histo {
@@ -341,6 +352,86 @@ mod tests {
         assert_eq!(s.quantile(0.5), 7);
         assert_eq!(s.quantile(1.0), 7);
         assert_eq!(s.mean(), 7.0);
+    }
+
+    #[test]
+    fn bucket_lower_partitions_the_value_space() {
+        for b in 0..N_BUCKETS {
+            assert!(bucket_lower(b) <= bucket_upper(b), "bucket {b} inverted");
+            assert_eq!(bucket_of(bucket_lower(b)), b, "lower edge of {b}");
+            assert_eq!(bucket_of(bucket_upper(b)), b, "upper edge of {b}");
+            if b > 0 {
+                assert_eq!(bucket_lower(b), bucket_upper(b - 1) + 1, "gap at {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_histogram_every_quantile_is_zero() {
+        let s = Histo::new().snapshot();
+        assert_eq!(s.count(), 0);
+        for q in [0.0, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            assert_eq!(s.quantile(q), 0, "q={q}");
+        }
+        assert_eq!(s.percentiles(), (0, 0, 0, 0));
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn single_bucket_quantiles_stay_inside_the_bucket() {
+        // Many samples of one value: every quantile must land inside
+        // that value's bucket bounds and at or below the exact max.
+        let h = Histo::new();
+        let v = 12_345u64;
+        for _ in 0..1000 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let b = bucket_of(v);
+        for q in [0.0, 0.5, 0.99, 0.999, 1.0] {
+            let got = s.quantile(q);
+            assert!(got >= bucket_lower(b), "q={q}: {got} below bucket");
+            assert!(got <= v, "q={q}: {got} above exact max");
+        }
+        assert_eq!(s.quantile(1.0), v);
+    }
+
+    #[test]
+    fn p999_on_sparse_buckets() {
+        // 999 fast samples and one extreme outlier: rank 999 of 1000
+        // still lands in the fast bucket, so p999 must NOT jump to the
+        // outlier...
+        let h = Histo::new();
+        for _ in 0..999 {
+            h.record(100);
+        }
+        h.record(1_000_000_000);
+        let s = h.snapshot();
+        let p999 = s.quantile(0.999);
+        assert!(
+            p999 <= bucket_upper(bucket_of(100)),
+            "p999={p999} overshoots the fast bucket"
+        );
+        assert_eq!(s.quantile(1.0), 1_000_000_000);
+        // ...but with >0.1% of samples in the outlier bucket, p999 must
+        // land inside the outlier's bucket bounds despite the huge gap
+        // of empty buckets in between.
+        let h2 = Histo::new();
+        for _ in 0..995 {
+            h2.record(100);
+        }
+        for _ in 0..5 {
+            h2.record(1_000_000_000);
+        }
+        let s2 = h2.snapshot();
+        let p999 = s2.quantile(0.999);
+        let ob = bucket_of(1_000_000_000);
+        assert!(
+            p999 >= bucket_lower(ob) && p999 <= 1_000_000_000,
+            "p999={p999} outside the outlier bucket [{}..=1e9]",
+            bucket_lower(ob)
+        );
+        assert!(s2.quantile(0.99) <= bucket_upper(bucket_of(100)));
     }
 
     #[test]

@@ -18,6 +18,7 @@
 
 mod contention;
 mod coverage;
+mod flight;
 mod histo;
 mod registry;
 mod snapshot;
@@ -31,7 +32,13 @@ pub use contention::{
     PMFS_NS_SHARD_SITES,
 };
 pub use coverage::{mag_bucket, CoverageDomain, CoverageMap, COVERAGE_DOMAINS};
-pub use histo::{bucket_of, bucket_upper, Histo, HistoSnapshot, N_BUCKETS, SUB_BUCKETS};
+pub use flight::{
+    note_batch, note_fence, note_persisted, note_shard, FlightRecord, FlightRecorder,
+    FlightSnapshot, TailAnatomy, FLIGHT_MERGED_TOPK, FLIGHT_TOPK, NO_SHARD,
+};
+pub use histo::{
+    bucket_lower, bucket_of, bucket_upper, Histo, HistoSnapshot, N_BUCKETS, SUB_BUCKETS,
+};
 pub use registry::{Counter, MetricSource, MetricsRegistry, RegistrySnapshot, Visitor};
 pub use snapshot::{
     dirty_line_bucket, invariant_label, lrw_age_bucket, AuditReport, AuditViolation, BufferSnap,
@@ -165,6 +172,9 @@ pub struct FsObs {
     audit_checks: AtomicU64,
     /// Invariants found broken. Non-zero means structural corruption.
     audit_violations: AtomicU64,
+    /// The per-op flight recorder (tail-latency anatomies), off by
+    /// default like everything else.
+    flight: FlightRecorder,
 }
 
 impl Default for FsObs {
@@ -184,7 +194,14 @@ impl FsObs {
             spans: OnceLock::new(),
             audit_checks: AtomicU64::new(0),
             audit_violations: AtomicU64::new(0),
+            flight: FlightRecorder::new(),
         }
+    }
+
+    /// The per-op flight recorder bundled with this file system.
+    #[inline]
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
     }
 
     /// Folds an auditor pass into this bundle: counts the checks, counts
@@ -286,6 +303,9 @@ impl MetricSource for FsObs {
         out.counter("obsv_trace_dropped", self.trace.dropped());
         out.counter("obsv_audit_checks", self.audit_checks());
         out.counter("obsv_audit_violations", self.audit_violations());
+        if self.flight.recorded() > 0 {
+            out.counter("obsv_flight_records", self.flight.recorded());
+        }
         if let Some(spans) = self.spans.get() {
             spans.collect(out);
         }

@@ -270,6 +270,7 @@ impl SpanTable {
         let cell = &self.cells[row][phase as usize];
         cell.ns.fetch_add(excl_ns, Ordering::Relaxed);
         cell.calls.fetch_add(1, Ordering::Relaxed);
+        crate::flight::note_phase(row, phase, excl_ns);
     }
 }
 

@@ -174,8 +174,12 @@ impl Pmfs {
                     return f();
                 }
                 let t0 = self.env.now();
+                let flight = self.obs.flight();
+                flight.begin(op, t0, self.obs.trace.emitted());
                 let r = f();
-                self.obs.record_op(op, self.env.now() - t0, t0);
+                let total = self.env.now() - t0;
+                flight.finish(total, self.obs.trace.emitted());
+                self.obs.record_op(op, total, t0);
                 r
             },
         )

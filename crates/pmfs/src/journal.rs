@@ -590,6 +590,7 @@ impl Journal {
 
     fn commit_group_inner(&self, txs: Vec<TxHandle>) {
         let n = txs.len() as u64;
+        obsv::note_batch(n as u32);
         let mut inner = self.inner.lock();
         // Order every caller's in-place metadata updates before any of the
         // batch's commit entries.

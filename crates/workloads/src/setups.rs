@@ -83,6 +83,11 @@ pub struct ObsvOptions {
     /// Record lock wait/hold times and stall attribution in the machine's
     /// contention profiler.
     pub contention: bool,
+    /// Record per-op flight anatomies (tail-latency exemplars). Implies
+    /// `timing`, and only composes full records when `spans` and
+    /// `contention` are also on — use the [`ObsvOptions::flight`]
+    /// preset.
+    pub flight: bool,
 }
 
 impl ObsvOptions {
@@ -99,6 +104,22 @@ impl ObsvOptions {
             spans: true,
             audit: true,
             contention: true,
+            flight: true,
+        }
+    }
+
+    /// The tail-anatomy preset: everything the flight recorder composes
+    /// (timing, trace seq ranges, phase spans, contention waits) plus
+    /// the recorder itself — but not the auditor, which adds work to the
+    /// timeline being profiled.
+    pub fn flight() -> ObsvOptions {
+        ObsvOptions {
+            timing: true,
+            trace: true,
+            spans: true,
+            audit: false,
+            contention: true,
+            flight: true,
         }
     }
 
@@ -129,6 +150,13 @@ impl ObsvOptions {
     /// Enables the lock-contention profiler.
     pub fn with_contention(mut self) -> Self {
         self.contention = true;
+        self
+    }
+
+    /// Enables the per-op flight recorder (and the timing it implies).
+    pub fn with_flight(mut self) -> Self {
+        self.flight = true;
+        self.timing = true;
         self
     }
 }
@@ -307,8 +335,11 @@ fn apply_obsv(
     cfg: &SystemConfig,
 ) {
     if let Some(obs) = obs {
-        obs.set_timing(cfg.obsv.timing);
+        // Flight records ride the timed() wrappers, so flight implies
+        // timing.
+        obs.set_timing(cfg.obsv.timing || cfg.obsv.flight);
         obs.set_tracing(cfg.obsv.trace);
+        obs.flight().set_enabled(cfg.obsv.flight);
     }
     dev.spans().set_enabled(cfg.obsv.spans);
     env.contention().set_level(if cfg.obsv.contention {
@@ -734,6 +765,19 @@ mod tests {
                     kind.label()
                 );
             }
+            // `ObsvOptions::all()` arms the flight recorder, so the ops
+            // above must have produced records and the derived counter
+            // must surface through the same conformance-checked path
+            // (bench documents turn these into the `tail::` key family).
+            assert!(
+                snap.counters
+                    .get("obsv_flight_records")
+                    .copied()
+                    .unwrap_or(0)
+                    > 0,
+                "{}: flight recorder armed but obsv_flight_records missing",
+                kind.label()
+            );
         }
     }
 }

@@ -15,6 +15,7 @@
 //! cargo run --example fs_inspect -- --audit           # + online invariant audit
 //! cargo run --example fs_inspect -- --system pmfs     # pmfs | ext4-dax | ext2 | ext4 | hinfs
 //! cargo run --example fs_inspect -- --contention      # + top lock/stall sites by wait time
+//! cargo run --example fs_inspect -- --tail            # + p99 tail anatomy and exemplars
 //! ```
 //!
 //! Exit status is non-zero when `--audit` finds a violation or when the
@@ -141,6 +142,7 @@ fn main() {
     let top = args.iter().any(|a| a == "--top");
     let audit = args.iter().any(|a| a == "--audit");
     let contention = args.iter().any(|a| a == "--contention");
+    let tail = args.iter().any(|a| a == "--tail");
     let kind = args
         .iter()
         .position(|a| a == "--system")
@@ -148,9 +150,13 @@ fn main() {
         .map(|s| parse_kind(s))
         .unwrap_or(SystemKind::Hinfs);
 
-    let mut obsv = workloads::ObsvOptions::none();
+    let mut obsv = if tail {
+        workloads::ObsvOptions::flight()
+    } else {
+        workloads::ObsvOptions::none()
+    };
     obsv.audit = audit;
-    obsv.contention = contention;
+    obsv.contention = contention || tail;
     let cfg = SystemConfig {
         obsv,
         ..SystemConfig::small()
@@ -194,6 +200,72 @@ fn main() {
                 site.wait.sum(),
                 site.hold.sum()
             );
+        }
+    }
+
+    if tail {
+        if let Some(obs) = &sys.obs {
+            // p99 over every op histogram merged, then the anatomy of
+            // the flight-recorder exemplars at or above that bucket.
+            let mut merged: Option<obsv::HistoSnapshot> = None;
+            for op in obsv::ALL_OPS {
+                let s = obs.op_histo(op).snapshot();
+                if s.count() == 0 {
+                    continue;
+                }
+                match &mut merged {
+                    Some(m) => m.merge(&s),
+                    None => merged = Some(s),
+                }
+            }
+            let p99 = merged.map(|m| m.quantile(0.99)).unwrap_or(0);
+            let fsnap = obs.flight().snapshot();
+            let cohort: Vec<obsv::FlightRecord> = fsnap.cohort(p99).into_iter().copied().collect();
+            let anatomy = obsv::TailAnatomy::aggregate(&cohort);
+            eprintln!(
+                "tail: p99={}ns cohort={} exemplars (of {} recorded ops), seq [{}, {}]",
+                p99,
+                anatomy.count,
+                fsnap.recorded(),
+                anatomy.seq_lo,
+                anatomy.seq_hi
+            );
+            for (phase, ns) in anatomy.top_phases(4) {
+                eprintln!(
+                    "tail:   phase {:<18} {:>10}ns total ({}ns/exemplar)",
+                    phase.label(),
+                    ns,
+                    ns / anatomy.count.max(1)
+                );
+            }
+            for (site, ns) in anatomy.top_waits(4) {
+                eprintln!(
+                    "tail:   wait  {:<18} {:>10}ns total ({}ns/exemplar)",
+                    site.label(),
+                    ns,
+                    ns / anatomy.count.max(1)
+                );
+            }
+            let mut slowest = cohort.clone();
+            slowest.sort_by_key(|r| std::cmp::Reverse(r.total_ns));
+            for r in slowest.iter().take(3) {
+                eprintln!(
+                    "tail:   exemplar {} {}ns at t={}ns shard={} batch={} fences={} stalls={} seq [{}, {}]",
+                    r.op.label(),
+                    r.total_ns,
+                    r.at_ns,
+                    if r.shard == obsv::NO_SHARD {
+                        "-".to_string()
+                    } else {
+                        r.shard.to_string()
+                    },
+                    r.batch,
+                    r.fences,
+                    r.stall_events,
+                    r.seq_start,
+                    r.seq_end
+                );
+            }
         }
     }
 

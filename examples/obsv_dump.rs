@@ -201,6 +201,43 @@ fn main() {
     }
     println!();
 
+    // Flight-recorder exemplars: the slowest ops again, but each with its
+    // full anatomy — phase split, lock waits, fence count, trace-ring seq
+    // window — instead of a bare duration (`ObsvOptions::all()` arms the
+    // recorder).
+    let fsnap = obs.flight().snapshot();
+    println!(
+        "--- flight exemplars ({} ops recorded) ---",
+        fsnap.recorded()
+    );
+    let mut exemplars: Vec<&obsv::FlightRecord> = fsnap.all();
+    exemplars.sort_by_key(|r| std::cmp::Reverse(r.total_ns));
+    for r in exemplars.into_iter().take(6) {
+        let phases: Vec<String> = r
+            .top_phases(3)
+            .into_iter()
+            .map(|(p, ns)| format!("{}={ns}", p.label()))
+            .collect();
+        let waits: Vec<String> = r
+            .top_waits(2)
+            .into_iter()
+            .map(|(s, ns)| format!("{}={ns}", s.label()))
+            .collect();
+        println!(
+            "  {:>10} ns  {:<8} fences={} stalls={} seq [{}, {}]  phases: {}{}{}",
+            r.total_ns,
+            r.op.label(),
+            r.fences,
+            r.stall_events,
+            r.seq_start,
+            r.seq_end,
+            phases.join(" "),
+            if waits.is_empty() { "" } else { "  waits: " },
+            waits.join(" ")
+        );
+    }
+    println!();
+
     // Span phase matrix: where each op's virtual time actually went during
     // the transaction phase. Rows are ops (plus the detached background
     // row), columns are phases; only non-empty cells print.

@@ -49,17 +49,39 @@ run cargo run --release $OFFLINE --example fs_inspect -- --audit
 # The virtual clock makes the run reproducible, so any drift here is a
 # real behavior change, not noise.
 bench_tmp=$(mktemp -t BENCH_check.XXXXXX.json)
-trap 'rm -f "$bench_tmp" "$bench_tmp.bad"' EXIT
+trap 'rm -f "$bench_tmp" "$bench_tmp.bad" "$bench_tmp.blame"' EXIT
 run cargo run --release $OFFLINE -p hinfs-bench --bin experiments -- \
     --quick --fig 101 --fig 112 --bench-json "$bench_tmp"
-run scripts/bench_check.sh BENCH_pr7.json "$bench_tmp"
+run scripts/bench_check.sh BENCH_pr9.json "$bench_tmp"
 # The gate must also FAIL when a regression is injected — otherwise it
 # gates nothing.
 sed 's/\("headline::fileserver::hinfs::ops_per_s": \)\([0-9]*\)/\10/' \
     "$bench_tmp" >"$bench_tmp.bad"
-if scripts/bench_check.sh BENCH_pr7.json "$bench_tmp.bad" >/dev/null 2>&1; then
+if scripts/bench_check.sh BENCH_pr9.json "$bench_tmp.bad" >/dev/null 2>&1; then
     echo "verify: bench_check failed to flag an injected regression" >&2
     exit 1
 fi
 echo "verify: bench_check catches injected regressions"
+
+# Regression ATTRIBUTION: bench_diff must run clean across the schema
+# boundary (v2 baseline vs v3 candidate) and against the committed v3
+# baseline.
+run scripts/bench_diff.sh $OFFLINE BENCH_pr7.json BENCH_pr9.json
+run scripts/bench_diff.sh $OFFLINE BENCH_pr9.json "$bench_tmp"
+# And its blame table must NAME a planted regression: multiply the
+# journal span-phase time by 10 and require the span blame to rank
+# `journal` first for that cell.
+awk '{
+    if ($0 ~ /"span::fileserver::hinfs::phase=journal::ns": /) {
+        match($0, /[0-9]+/); v = substr($0, RSTART, RLENGTH)
+        sub(/[0-9]+/, sprintf("%d", v * 10))
+    }
+    print
+}' "$bench_tmp" >"$bench_tmp.blame"
+if ! scripts/bench_diff.sh $OFFLINE "$bench_tmp" "$bench_tmp.blame" |
+    grep -q '^blame::fileserver::hinfs::span 1 journal +'; then
+    echo "verify: bench_diff failed to blame the planted journal-phase regression" >&2
+    exit 1
+fi
+echo "verify: bench_diff blames planted regressions correctly"
 echo "verify: OK"

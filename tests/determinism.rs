@@ -16,18 +16,27 @@ fn one_run(kind: SystemKind, seed: u64) -> RunReport {
 }
 
 fn one_run_with(kind: SystemKind, seed: u64, observed: bool, audited: bool) -> RunReport {
+    one_run_cfg(
+        kind,
+        seed,
+        ObsvOptions {
+            timing: observed,
+            spans: observed,
+            audit: audited,
+            ..ObsvOptions::none()
+        },
+    )
+}
+
+fn one_run_cfg(kind: SystemKind, seed: u64, obsv: ObsvOptions) -> RunReport {
+    let audited = obsv.audit;
     let cfg = SystemConfig {
         device_bytes: 64 << 20,
         buffer_bytes: 2 << 20,
         cache_pages: 512,
         journal_blocks: 256,
         inode_count: 4096,
-        obsv: ObsvOptions {
-            timing: observed,
-            spans: observed,
-            audit: audited,
-            ..ObsvOptions::none()
-        },
+        obsv,
         ..SystemConfig::default()
     };
     let sys = build(kind, &cfg).unwrap();
@@ -132,6 +141,25 @@ fn snapshots_and_audit_do_not_change_results() {
         let plain = one_run_with(kind, 7, false, false);
         let audited = one_run_with(kind, 7, false, true);
         assert_identical(&plain, &audited, kind.label());
+    }
+}
+
+/// The flight recorder composes every read-only hook (timing, trace,
+/// spans, contention, per-op records) and adds its own TLS frame and
+/// reservoirs — all of it observation. Arming the full
+/// `ObsvOptions::flight()` preset must not change a single result bit
+/// relative to an unobserved run.
+#[test]
+fn flight_recorder_does_not_change_results() {
+    for kind in [
+        SystemKind::Pmfs,
+        SystemKind::Hinfs,
+        SystemKind::Ext4Bd,
+        SystemKind::Ext4Dax,
+    ] {
+        let plain = one_run_cfg(kind, 42, ObsvOptions::none());
+        let flown = one_run_cfg(kind, 42, ObsvOptions::flight());
+        assert_identical(&plain, &flown, kind.label());
     }
 }
 
