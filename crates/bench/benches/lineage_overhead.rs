@@ -1,0 +1,95 @@
+//! Measures the real-time cost of the data-lifecycle lineage tracker.
+//!
+//! Three angles: the raw `op_scope` + `note_*` hooks in isolation
+//! (disabled vs enabled — the disabled side must sit in the same
+//! one-relaxed-load regime as every other obsv hook), the stamp +
+//! drain pair that the buffered write paths pay per clean→dirty
+//! transition, and a full 4 KiB write path through HiNFS in spin mode
+//! with lineage off vs on top of the flight preset (the honest
+//! marginal cost of turning provenance on for a run).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fskit::OpenFlags;
+use nvmm::TimeMode;
+use obsv::{DrainKind, LineageTable, OpKind};
+use workloads::setups::{build, ObsvOptions, SystemConfig, SystemKind};
+
+fn cfg(lineage: bool) -> SystemConfig {
+    SystemConfig {
+        device_bytes: 64 << 20,
+        mode: TimeMode::Spin,
+        buffer_bytes: 8 << 20,
+        cache_pages: 2048,
+        journal_blocks: 256,
+        inode_count: 8192,
+        obsv: if lineage {
+            ObsvOptions::flight().with_lineage()
+        } else {
+            ObsvOptions::flight()
+        },
+        ..SystemConfig::default()
+    }
+}
+
+/// The bare hook set: an op scope around logical/buffered notes, with
+/// the table disabled (production default — `op_scope` is one relaxed
+/// load, each `note_*` one TLS bool read) and enabled (TLS frame
+/// accumulation, flushed to relaxed atomics on scope close).
+fn raw_scope_and_notes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lineage_raw");
+    g.sample_size(20);
+    for (label, enabled) in [("disabled", false), ("enabled", true)] {
+        let t = LineageTable::new();
+        t.set_enabled(enabled);
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let _s = t.op_scope(OpKind::Write);
+                obsv::note_logical(std::hint::black_box(4096));
+                obsv::note_buffered(4096);
+            })
+        });
+    }
+    // The per-block cost of the buffered write paths: one ack stamp at
+    // clean→dirty plus one drain when writeback retires it.
+    let t = LineageTable::new();
+    t.set_enabled(true);
+    let mut clock = 0u64;
+    g.bench_function("stamp_and_drain", |b| {
+        b.iter(|| {
+            clock += 2;
+            let _s = t.op_scope(OpKind::Write);
+            let stamp = t.stamp(clock, clock);
+            t.record_drain(&stamp, DrainKind::Lazy, clock + 1, 4096);
+        })
+    });
+    g.finish();
+}
+
+/// End-to-end: a 4 KiB HiNFS write in spin mode, flight preset with
+/// lineage off vs on — the marginal cost of provenance over the already
+/// armed timing + spans + contention + flight stack.
+fn write_4k(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lineage_write_4k");
+    g.sample_size(20);
+    for (label, lineage) in [("lineage_off", false), ("lineage_on", true)] {
+        let sys = build(SystemKind::Hinfs, &cfg(lineage)).expect("build");
+        let fd = sys
+            .fs
+            .open("/f", OpenFlags::RDWR | OpenFlags::CREATE)
+            .expect("open");
+        let data = vec![0xabu8; 4096];
+        let mut i = 0u64;
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                sys.fs.write(fd, (i % 1024) * 4096, &data).expect("write");
+                i += 1;
+            })
+        });
+        sys.fs.close(fd).expect("close");
+        sys.fs.unmount().expect("unmount");
+    }
+    g.finish();
+}
+
+criterion_group!(lineage_overhead, raw_scope_and_notes, write_4k);
+criterion_main!(lineage_overhead);

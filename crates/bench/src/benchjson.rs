@@ -16,6 +16,10 @@
 //! - flat `span::<cell>::phase=<p>::…`, `lock::<cell>::site=<s>::…` and
 //!   `fence::<cell>::…` totals, the inputs `bench_diff` decomposes a
 //!   regression into;
+//! - flat `waf::<cell>::<layer>::bytes` per-layer write-amplification
+//!   ledgers plus `waf::<cell>::fences_per_kib`, and flat
+//!   `lag::<cell>::{p50,p99,max}_ns` durability-lag quantiles from the
+//!   lineage tracker (schema v4);
 //! - per-op latency quantiles (p50/p95/p99/mean) from the [`FsObs`]
 //!   histograms of the headline runs;
 //! - the OpKind × Phase span matrix of each headline run;
@@ -42,7 +46,7 @@ use crate::common::{Personality, Scale};
 use crate::table::Table;
 
 /// Bumped whenever the document layout changes incompatibly.
-pub const SCHEMA_VERSION: u32 = 3;
+pub const SCHEMA_VERSION: u32 = 4;
 
 /// Thread counts of the per-cell scaling sweep.
 pub const THREADS_SWEEP: [usize; 4] = [1, 2, 4, 8];
@@ -94,6 +98,9 @@ struct Headline {
     /// Flight-recorder reservoirs: the slowest per-op anatomies, the
     /// exemplars behind the `tail::` keys.
     flight: obsv::FlightSnapshot,
+    /// Data-lifecycle ledger of the run: per-layer bytes, fences and
+    /// durability-lag quantiles behind the `waf::`/`lag::` keys.
+    lineage: obsv::LineageSnap,
     /// The threads={1,2,4,8} scaling sweep of this cell (empty until
     /// [`run_cell`] attaches it).
     sweep: Vec<SweepPoint>,
@@ -147,7 +154,7 @@ fn run_headline(p: Personality, kind: SystemKind, scale: &Scale) -> Headline {
     // whole document) only reflects this cell's run.
     nvmm::ledger::reset();
     let mut cfg = scale.system_config(nvmm::CostModel::default());
-    cfg.obsv = workloads::ObsvOptions::flight();
+    cfg.obsv = workloads::ObsvOptions::flight().with_lineage();
     let sys = build(kind, &cfg).expect("build system");
     let set = Fileset::populate(&*sys.fs, scale.fileset_spec(), 0xF11E).expect("populate fileset");
     sys.fs.unmount().expect("unmount after populate");
@@ -166,6 +173,7 @@ fn run_headline(p: Personality, kind: SystemKind, scale: &Scale) -> Headline {
         .as_ref()
         .map(|o| o.flight().snapshot())
         .unwrap_or_default();
+    let lineage = obs.as_ref().map(|o| o.lineage().snap()).unwrap_or_default();
     let mut snapshot = sys
         .introspect
         .as_ref()
@@ -182,6 +190,7 @@ fn run_headline(p: Personality, kind: SystemKind, scale: &Scale) -> Headline {
         snapshot,
         contention,
         flight,
+        lineage,
         sweep: Vec::new(),
     }
 }
@@ -349,6 +358,46 @@ fn push_perf_keys(out: &mut String, cells: &[Headline]) {
             "  \"fence::{cell}::coalesced\": {},",
             h.report.device.fences_coalesced
         );
+    }
+}
+
+/// Flat `waf::` / `lag::` keys (schema v4): the per-layer
+/// write-amplification ledger and the durability-lag quantiles of each
+/// cell. `waf::<cell>::<layer>::bytes` carries the raw per-layer byte
+/// totals (amplification ratios fall out as `<layer>/logical` in the
+/// consumer, so the document stays integer-exact); `lag::<cell>` carries
+/// p50/p99 from the lag histogram and the exact max gauge.
+fn push_lineage_keys(out: &mut String, cells: &[Headline]) {
+    for h in cells {
+        let cell = format!("{}::{}", h.workload, h.system);
+        if h.lineage.is_empty() {
+            continue;
+        }
+        for layer in obsv::ALL_LAYERS {
+            let _ = writeln!(
+                out,
+                "  \"waf::{cell}::{}::bytes\": {},",
+                layer.label(),
+                h.lineage.layer(layer)
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  \"waf::{cell}::fences_per_kib\": {},",
+            h.lineage.fences_per_kib()
+        );
+        let _ = writeln!(out, "  \"lag::{cell}::count\": {},", h.lineage.lag.count());
+        let _ = writeln!(
+            out,
+            "  \"lag::{cell}::p50_ns\": {},",
+            h.lineage.lag.quantile(0.50)
+        );
+        let _ = writeln!(
+            out,
+            "  \"lag::{cell}::p99_ns\": {},",
+            h.lineage.lag.quantile(0.99)
+        );
+        let _ = writeln!(out, "  \"lag::{cell}::max_ns\": {},", h.lineage.max_lag_ns);
     }
 }
 
@@ -645,6 +694,7 @@ fn render(
     push_headline_keys(&mut out, cells);
     push_tail_keys(&mut out, cells);
     push_perf_keys(&mut out, cells);
+    push_lineage_keys(&mut out, cells);
     push_op_latency(&mut out, cells);
     push_contention(&mut out, cells);
     push_spans(&mut out, cells);
@@ -684,13 +734,19 @@ mod tests {
             .collect();
         let doc = render(&scale, "tiny", &[t.clone()], &cells, "deadbeef");
         for needle in [
-            "\"schema_version\": 3",
+            "\"schema_version\": 4",
             "\"git_rev\": \"deadbeef\"",
             "\"headline::fileserver::hinfs::ops_per_s\"",
             "\"tail::fileserver::hinfs::p99::ns\"",
             "\"tail::fileserver::hinfs::p999::ns\"",
             "\"span::fileserver::hinfs::phase=",
             "\"fence::fileserver::hinfs::count\"",
+            "\"waf::fileserver::hinfs::logical::bytes\"",
+            "\"waf::fileserver::hinfs::nvmm_persisted::bytes\"",
+            "\"waf::fileserver::hinfs::fences_per_kib\"",
+            "\"lag::fileserver::hinfs::p50_ns\"",
+            "\"lag::fileserver::hinfs::p99_ns\"",
+            "\"lag::fileserver::hinfs::max_ns\"",
             "\"tail_exemplars\"",
             "\"op_latency\"",
             "\"contention\"",
@@ -773,15 +829,30 @@ mod tests {
             .lines()
             .filter(|l| {
                 let t = l.trim_start();
-                ["\"tail::", "\"span::", "\"lock::", "\"fence::"]
-                    .iter()
-                    .any(|p| t.starts_with(p))
+                [
+                    "\"tail::",
+                    "\"span::",
+                    "\"lock::",
+                    "\"fence::",
+                    "\"waf::",
+                    "\"lag::",
+                ]
+                .iter()
+                .any(|p| t.starts_with(p))
             })
             .collect();
-        assert!(!flat.is_empty(), "no v3 flat keys emitted:\n{doc}");
+        assert!(!flat.is_empty(), "no v3/v4 flat keys emitted:\n{doc}");
         assert!(
             flat.iter().any(|l| l.contains("\"tail::")),
             "no tail:: keys:\n{doc}"
+        );
+        assert!(
+            flat.iter().any(|l| l.contains("\"waf::")),
+            "no waf:: keys:\n{doc}"
+        );
+        assert!(
+            flat.iter().any(|l| l.contains("\"lag::")),
+            "no lag:: keys:\n{doc}"
         );
         for l in &flat {
             let t = l.trim();
@@ -837,5 +908,15 @@ mod tests {
             })
             .sum();
         assert!(phase_sum > 0, "p99 cohort has no phase attribution");
+        // The v4 lineage ledger is populated and ordered: logical bytes
+        // flowed, drains were recorded, and p50 ≤ p99 ≤ max.
+        let logical = get("waf::fileserver::hinfs::logical::bytes").expect("waf logical key");
+        assert!(logical > 0, "no logical bytes in the waf ledger");
+        let lag_count = get("lag::fileserver::hinfs::count").expect("lag count key");
+        assert!(lag_count > 0, "no durability drains recorded");
+        let p50 = get("lag::fileserver::hinfs::p50_ns").unwrap();
+        let p99 = get("lag::fileserver::hinfs::p99_ns").unwrap();
+        let max = get("lag::fileserver::hinfs::max_ns").unwrap();
+        assert!(p50 <= p99 && p99 <= max, "lag quantiles out of order");
     }
 }

@@ -4,11 +4,13 @@
 //! bare pass/fail gate.
 //!
 //! The parser reads only the flat one-key-per-line families the emitter
-//! guarantees (`headline::`, `tail::`, `span::`, `lock::`, `fence::`),
-//! so it needs no JSON library and tolerates any schema's nested
-//! sections. A schema-v2 baseline (no `tail::`/`span::` keys) still
-//! diffs cleanly: headline deltas always print, and each missing family
-//! is reported as a note instead of a blame ranking.
+//! guarantees (`headline::`, `tail::`, `span::`, `lock::`, `fence::`,
+//! and, since schema v4, `waf::` and `lag::`), so it needs no JSON
+//! library and tolerates any schema's nested sections. An older baseline
+//! (a v2 doc without `tail::`/`span::` keys, or a v3 doc without
+//! `waf::`/`lag::` keys) still diffs cleanly: headline deltas always
+//! print, and each missing family is reported as a note instead of a
+//! blame ranking.
 //!
 //! Output is stable and greppable: human-readable `bench_diff:` lines
 //! plus `blame::<cell>::<family> <rank> <name> <delta>` lines, ranked
@@ -19,7 +21,15 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// The flat key families the diff understands.
-const FAMILIES: [&str; 5] = ["headline::", "tail::", "span::", "lock::", "fence::"];
+const FAMILIES: [&str; 7] = [
+    "headline::",
+    "tail::",
+    "span::",
+    "lock::",
+    "fence::",
+    "waf::",
+    "lag::",
+];
 
 /// Span/lock deltas below this many ns per op are noise, not blame.
 const MIN_NS_PER_OP: f64 = 0.05;
@@ -291,6 +301,60 @@ pub fn render_diff(base: &FlatDoc, cand: &FlatDoc, base_name: &str, cand_name: &
             }
         }
 
+        // Write-amplification blame: per-layer bytes normalized to bytes
+        // per logical KiB, so a candidate that moves more journal or
+        // writeback traffic per unit of useful work is named by layer.
+        if base.has_family("waf::", cell) && cand.has_family("waf::", cell) {
+            let b_kib = base
+                .get(&format!("waf::{cell}::logical::bytes"))
+                .unwrap_or(0.0)
+                / 1024.0;
+            let c_kib = cand
+                .get(&format!("waf::{cell}::logical::bytes"))
+                .unwrap_or(0.0)
+                / 1024.0;
+            let ranked = rank_deltas(
+                &base.family_values("waf::", cell, "::bytes"),
+                &cand.family_values("waf::", cell, "::bytes"),
+                b_kib,
+                c_kib,
+            );
+            push_blame_family(&mut out, cell, "waf", "b/logical-kib", &ranked);
+            let fpk_key = format!("waf::{cell}::fences_per_kib");
+            if let (Some(b), Some(c)) = (base.get(&fpk_key), cand.get(&fpk_key)) {
+                if b != c {
+                    let _ = writeln!(
+                        out,
+                        "blame::{cell}::waf_fences {:+.3} fences/kib ({})",
+                        c - b,
+                        pct(b, c)
+                    );
+                }
+            }
+        } else {
+            let _ = writeln!(
+                out,
+                "bench_diff:   note {cell}: waf:: keys missing on one side (schema < 4 side); waf blame skipped"
+            );
+        }
+
+        // Durability-lag blame: the p50/p99/max quantile deltas in
+        // absolute ns, worst growth first.
+        if base.has_family("lag::", cell) && cand.has_family("lag::", cell) {
+            let ranked = rank_deltas(
+                &base.family_values("lag::", cell, "_ns"),
+                &cand.family_values("lag::", cell, "_ns"),
+                1.0,
+                1.0,
+            );
+            push_blame_family(&mut out, cell, "lag", "ns", &ranked);
+        } else {
+            let _ = writeln!(
+                out,
+                "bench_diff:   note {cell}: lag:: keys missing on one side (schema < 4 side); lag blame skipped"
+            );
+        }
+
         // Tail-anatomy blame: Δp99 decomposed into per-exemplar phase
         // averages of the p99 cohort.
         if base.has_family("tail::", cell) && cand.has_family("tail::", cell) {
@@ -344,7 +408,7 @@ mod tests {
 
     fn doc(extra: &str) -> String {
         format!(
-            "{{\n  \"schema_version\": 3,\n  \
+            "{{\n  \"schema_version\": 4,\n  \
              \"headline::fileserver::hinfs::ops_per_s\": 1000.000,\n  \
              \"headline::fileserver::hinfs::total_ops\": 2000,\n  \
              \"tail::fileserver::hinfs::p99::ns\": 5000,\n  \
@@ -354,7 +418,15 @@ mod tests {
              \"span::fileserver::hinfs::phase=journal::ns\": 100000,\n  \
              \"span::fileserver::hinfs::phase=persist::ns\": 300000,\n  \
              \"lock::fileserver::hinfs::site=pmfs.journal::wait_ns\": 50000,\n  \
-             \"fence::fileserver::hinfs::count\": 4000,\n{extra}  \
+             \"fence::fileserver::hinfs::count\": 4000,\n  \
+             \"waf::fileserver::hinfs::logical::bytes\": 1048576,\n  \
+             \"waf::fileserver::hinfs::journal_logged::bytes\": 262144,\n  \
+             \"waf::fileserver::hinfs::nvmm_persisted::bytes\": 2097152,\n  \
+             \"waf::fileserver::hinfs::fences_per_kib\": 4,\n  \
+             \"lag::fileserver::hinfs::count\": 500,\n  \
+             \"lag::fileserver::hinfs::p50_ns\": 0,\n  \
+             \"lag::fileserver::hinfs::p99_ns\": 40000,\n  \
+             \"lag::fileserver::hinfs::max_ns\": 90000,\n{extra}  \
              \"end\": 0\n}}\n"
         )
     }
@@ -362,7 +434,7 @@ mod tests {
     #[test]
     fn parses_flat_families_only() {
         let d = FlatDoc::parse(&doc(""));
-        assert_eq!(d.schema, Some(3));
+        assert_eq!(d.schema, Some(4));
         assert_eq!(d.cells(), vec!["fileserver::hinfs".to_string()]);
         assert_eq!(
             d.get("span::fileserver::hinfs::phase=journal::ns"),
@@ -455,8 +527,75 @@ mod tests {
         assert!(
             !report
                 .lines()
-                .any(|l| l.starts_with("blame::") && !l.contains("fence +0.000")),
+                .any(|l| l.starts_with("blame::") && !l.contains("+0.000")),
             "unexpected blame:\n{report}"
+        );
+    }
+
+    #[test]
+    fn planted_waf_regression_is_blamed_by_layer() {
+        let base = doc("");
+        // NVMM-persisted bytes triple at constant logical traffic: the waf
+        // blame must name the layer at rank 1, in bytes per logical KiB.
+        let cand = base.replace(
+            "\"waf::fileserver::hinfs::nvmm_persisted::bytes\": 2097152,",
+            "\"waf::fileserver::hinfs::nvmm_persisted::bytes\": 6291456,",
+        );
+        let report = diff_docs(&base, &cand, "a", "b");
+        let rank1 = report
+            .lines()
+            .find(|l| l.starts_with("blame::fileserver::hinfs::waf 1 "))
+            .expect("waf blame rank 1 line");
+        assert!(
+            rank1.starts_with("blame::fileserver::hinfs::waf 1 nvmm_persisted "),
+            "wrong blame: {rank1}"
+        );
+        // (6291456-2097152)/1024 logical KiB = +4096 b/logical-kib.
+        assert!(
+            rank1.contains("+4096.0 b/logical-kib"),
+            "wrong delta: {rank1}"
+        );
+    }
+
+    #[test]
+    fn planted_lag_regression_is_blamed_by_quantile() {
+        let base = doc("");
+        let cand = base.replace(
+            "\"lag::fileserver::hinfs::max_ns\": 90000,",
+            "\"lag::fileserver::hinfs::max_ns\": 5090000,",
+        );
+        let report = diff_docs(&base, &cand, "a", "b");
+        let rank1 = report
+            .lines()
+            .find(|l| l.starts_with("blame::fileserver::hinfs::lag 1 "))
+            .expect("lag blame rank 1 line");
+        assert!(
+            rank1.starts_with("blame::fileserver::hinfs::lag 1 max "),
+            "wrong blame: {rank1}"
+        );
+        assert!(rank1.contains("+5000000.0 ns"), "wrong delta: {rank1}");
+    }
+
+    #[test]
+    fn schema_v3_baseline_degrades_waf_and_lag_to_notes() {
+        // A v3 baseline has every family except waf::/lag::.
+        let base = doc("")
+            .lines()
+            .filter(|l| !l.contains("\"waf::") && !l.contains("\"lag::"))
+            .collect::<Vec<_>>()
+            .join("\n")
+            .replace("\"schema_version\": 4", "\"schema_version\": 3");
+        let report = diff_docs(&base, &doc(""), "pr9", "pr10");
+        assert!(report.contains("waf blame skipped"), "{report}");
+        assert!(report.contains("lag blame skipped"), "{report}");
+        // The older families still produce full diffs.
+        assert!(report.contains("bench_diff: cell fileserver::hinfs"));
+        assert!(
+            !report
+                .lines()
+                .any(|l| l.starts_with("blame::fileserver::hinfs::waf")
+                    || l.starts_with("blame::fileserver::hinfs::lag")),
+            "no waf/lag blame without both sides:\n{report}"
         );
     }
 }

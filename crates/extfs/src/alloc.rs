@@ -195,7 +195,7 @@ mod tests {
             got.push(bm.alloc(&cache, &jbd, 0).unwrap());
         }
         bm.release(&cache, &jbd, got[3], 0);
-        cache.flush_all();
+        cache.flush_all(obsv::DrainKind::Sync);
         // Reload from the (cached/fetched) on-disk image.
         let bm2 = DiskBitmap::load(&cache, 20, 500);
         assert_eq!(bm2.free_count(), 500 - 9);
@@ -230,7 +230,7 @@ mod tests {
         // 40000 bits ≈ 1.2 bitmap blocks.
         let bm = DiskBitmap::load(&cache, 20, 40_000);
         bm.set(&cache, &jbd, 39_999, 0);
-        cache.flush_all();
+        cache.flush_all(obsv::DrainKind::Sync);
         let bm2 = DiskBitmap::load(&cache, 20, 40_000);
         assert!(bm2.is_set(39_999));
         assert_eq!(bm2.free_count(), 39_999);

@@ -11,12 +11,12 @@
 //! - `fsync` writes the file's dirty pages through the block layer.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use blockdev::Nvmmbd;
 use fskit::lrulist::RecencyList;
 use nvmm::{Cat, BLOCK_SIZE};
-use obsv::{Site, TrackedMutex};
+use obsv::{DrainKind, FsObs, Site, TraceEvent, TrackedMutex};
 
 #[derive(Debug, Clone, Copy)]
 struct PageMeta {
@@ -27,6 +27,12 @@ struct PageMeta {
     /// Pinned pages belong to a running journal transaction and must not
     /// reach the device in place before the transaction commits.
     pinned: bool,
+    /// Lineage ack stamp taken at the clean→dirty transition.
+    stamp: obsv::Stamp,
+    /// Whether `stamp` still awaits its durability drain. Cleared by the
+    /// drain that retires it (in-place writeback or journal commit), so a
+    /// post-commit checkpoint never double-counts the lag.
+    stamped: bool,
 }
 
 #[derive(Debug)]
@@ -47,6 +53,9 @@ pub struct BufferCache {
     bd: Arc<Nvmmbd>,
     inner: TrackedMutex<Inner>,
     capacity: usize,
+    /// Attached at mount for lineage stamps and drain provenance; absent
+    /// during mkfs, where the cache is torn down before the real mount.
+    obs: OnceLock<Arc<FsObs>>,
 }
 
 impl BufferCache {
@@ -68,6 +77,8 @@ impl BufferCache {
                             dirty: false,
                             dirtied_ns: 0,
                             pinned: false,
+                            stamp: obsv::Stamp::default(),
+                            stamped: false,
                         };
                         pages
                     ],
@@ -79,7 +90,14 @@ impl BufferCache {
                 },
             ),
             capacity: pages,
+            obs: OnceLock::new(),
         }
+    }
+
+    /// Attaches the observability hub; page writes stamp lineage and
+    /// writebacks record drains from here on. Idempotent.
+    pub fn attach_obs(&self, obs: Arc<FsObs>) {
+        let _ = self.obs.set(obs);
     }
 
     /// Cache capacity in pages.
@@ -130,8 +148,9 @@ impl BufferCache {
         &mut inner.data[b..b + BLOCK_SIZE]
     }
 
-    /// Writes a dirty slot back to the device.
-    fn writeback_slot(&self, inner: &mut Inner, slot: u32) {
+    /// Writes a dirty slot back to the device, retiring its lineage stamp
+    /// (if still pending) as a drain of the given kind.
+    fn writeback_slot(&self, inner: &mut Inner, slot: u32, kind: DrainKind) {
         let meta = inner.meta[slot as usize];
         if !meta.dirty || meta.pinned {
             return;
@@ -142,6 +161,59 @@ impl BufferCache {
         self.bd.write_block(Cat::Writeback, meta.blk, &page);
         inner.meta[slot as usize].dirty = false;
         inner.dirty_count -= 1;
+        if meta.stamped {
+            inner.meta[slot as usize].stamped = false;
+            self.record_drain(&meta.stamp, kind);
+        }
+    }
+
+    /// Records a stamp retirement: the lag sample, the drained bytes on
+    /// the stamp's origin row, and a causal trace event.
+    fn record_drain(&self, stamp: &obsv::Stamp, kind: DrainKind) {
+        let Some(obs) = self.obs.get() else { return };
+        let lin = obs.lineage();
+        if !lin.enabled() {
+            return;
+        }
+        let now = self.bd.byte_device().env().now();
+        let lag = lin.record_drain(stamp, kind, now, BLOCK_SIZE as u64);
+        let seq_hi = obs.trace.emitted();
+        let (row, seq_lo) = (stamp.row, stamp.seq);
+        obs.trace.emit(now, || TraceEvent::LineageDrained {
+            row: row as u64,
+            lazy: kind == DrainKind::Lazy,
+            bytes: BLOCK_SIZE as u64,
+            lag_ns: lag,
+            seq_lo,
+            seq_hi,
+        });
+    }
+
+    /// Retires the stamps of `blks` whose durability was just met by a
+    /// journal commit: the journal copy makes the page content
+    /// recoverable, so the lag drains *here* — the later checkpoint
+    /// writeback moves bytes but retires nothing.
+    pub fn note_committed(&self, blks: &[u64], kind: DrainKind) {
+        let Some(obs) = self.obs.get() else { return };
+        if !obs.lineage().enabled() {
+            return;
+        }
+        let mut stamps = Vec::new();
+        {
+            let mut inner = self.inner.lock();
+            for &blk in blks {
+                if let Some(&slot) = inner.map.get(&blk) {
+                    let meta = &mut inner.meta[slot as usize];
+                    if meta.stamped {
+                        meta.stamped = false;
+                        stamps.push(meta.stamp);
+                    }
+                }
+            }
+        }
+        for stamp in stamps {
+            self.record_drain(&stamp, kind);
+        }
     }
 
     /// Gets (or fetches) the slot caching `blk`. `fill` controls whether a
@@ -164,7 +236,8 @@ impl BufferCache {
                     .iter_from_tail()
                     .find(|&s| !inner.meta[s as usize].pinned)
                     .expect("page cache exhausted by pinned journal pages");
-                self.writeback_slot(inner, victim);
+                // Eviction drains behind the owner's back: lazy.
+                self.writeback_slot(inner, victim, DrainKind::Lazy);
                 let old = inner.meta[victim as usize].blk;
                 inner.map.remove(&old);
                 inner.lru.unlink(victim);
@@ -176,6 +249,8 @@ impl BufferCache {
             dirty: false,
             dirtied_ns: 0,
             pinned: false,
+            stamp: obsv::Stamp::default(),
+            stamped: false,
         };
         inner.map.insert(blk, slot);
         inner.lru.push_head(slot);
@@ -213,27 +288,36 @@ impl BufferCache {
         let env = self.bd.byte_device().env();
         env.charge(Cat::Other, env.cost().page_cache_ns);
         env.charge_dram_copy(cat, data.len());
-        let meta = &mut inner.meta[slot as usize];
-        if !meta.dirty {
+        obsv::note_buffered(data.len() as u64);
+        if !inner.meta[slot as usize].dirty {
+            let stamp = self
+                .obs
+                .get()
+                .map(|obs| obs.lineage().stamp(now, obs.trace.emitted()));
+            let meta = &mut inner.meta[slot as usize];
             meta.dirty = true;
             meta.dirtied_ns = now;
+            if let Some(stamp) = stamp {
+                meta.stamp = stamp;
+                meta.stamped = self.obs.get().is_some_and(|o| o.lineage().enabled());
+            }
             inner.dirty_count += 1;
         }
         inner.lru.touch(slot);
     }
 
-    /// Flushes `blk` if it is cached and dirty.
-    pub fn flush_block(&self, blk: u64) {
+    /// Flushes `blk` if it is cached and dirty, draining it as `kind`.
+    pub fn flush_block(&self, blk: u64, kind: DrainKind) {
         let mut inner = self.inner.lock();
         if let Some(&slot) = inner.map.get(&blk) {
-            self.writeback_slot(&mut inner, slot);
+            self.writeback_slot(&mut inner, slot, kind);
         }
     }
 
     /// Flushes every unpinned dirty page, then issues a device barrier.
     /// Pinned pages belong to an uncommitted journal transaction and stay
     /// behind (the journal commits them first).
-    pub fn flush_all(&self) {
+    pub fn flush_all(&self, kind: DrainKind) {
         let mut inner = self.inner.lock();
         let slots: Vec<u32> = inner
             .meta
@@ -243,7 +327,7 @@ impl BufferCache {
             .map(|(i, _)| i as u32)
             .collect();
         for slot in slots {
-            self.writeback_slot(&mut inner, slot);
+            self.writeback_slot(&mut inner, slot, kind);
         }
         drop(inner);
         self.bd.flush();
@@ -260,7 +344,7 @@ impl BufferCache {
             .map(|(i, _)| i as u32)
             .collect();
         for slot in slots {
-            self.writeback_slot(&mut inner, slot);
+            self.writeback_slot(&mut inner, slot, DrainKind::Lazy);
         }
     }
 
@@ -290,6 +374,9 @@ impl BufferCache {
                 inner.meta[slot as usize].dirty = false;
                 inner.dirty_count -= 1;
             }
+            // The block was freed before its data ever became durable;
+            // the stamp is abandoned, not drained.
+            inner.meta[slot as usize].stamped = false;
             inner.lru.unlink(slot);
             inner.free.push(slot);
         }
@@ -329,7 +416,7 @@ mod tests {
             .byte_device()
             .peek(7 * BLOCK_SIZE as u64, &mut direct);
         assert!(direct.iter().all(|&b| b == 0), "not on device yet");
-        c.flush_all();
+        c.flush_all(DrainKind::Sync);
         assert_eq!(c.dirty_pages(), 0);
         c.device()
             .byte_device()
@@ -383,6 +470,36 @@ mod tests {
         assert_eq!(c.dirty_pages(), 0);
         let (_, w1, _) = c.device().request_counts();
         assert_eq!(w1, w0, "invalidate never writes");
+    }
+
+    #[test]
+    fn lineage_stamps_retire_once_with_the_drain_kind() {
+        let c = cache(8);
+        let obs = Arc::new(FsObs::default());
+        obs.lineage().set_enabled(true);
+        c.attach_obs(obs.clone());
+        let env = c.device().byte_device().env().clone();
+        // Dirty at t=1000, sync flush: lag asserted 0.
+        env.set_now(1_000);
+        c.write(Cat::UserWrite, 3, 0, &[1u8; 64], 1_000);
+        c.flush_block(3, DrainKind::Sync);
+        assert_eq!(obs.lineage().max_lag_ns(), 0);
+        // Dirty again (acked at t=2000), lazy age flush much later: the
+        // drain records the real age against the wall clock, which the
+        // device charges keep advancing.
+        env.set_now(9_000);
+        c.write(Cat::UserWrite, 3, 0, &[2u8; 64], 2_000);
+        c.flush_older_than(env.now(), 1_000);
+        let lag = obs.lineage().max_lag_ns();
+        assert_eq!(lag, env.now() - 2_000);
+        assert!(lag >= 7_000, "{lag}");
+        let snap = obs.lineage().snap();
+        assert_eq!(snap.stamps, 2);
+        assert_eq!(snap.drains_sync, 1);
+        assert_eq!(snap.drains_lazy, 1);
+        // A re-flush without a re-dirty drains nothing more.
+        c.flush_all(DrainKind::Sync);
+        assert_eq!(obs.lineage().snap().drains_sync, 1);
     }
 
     #[test]

@@ -115,7 +115,7 @@ impl Extfs {
             0,
         );
         layout::write_superblock(&cache, &l, 0);
-        cache.flush_all();
+        cache.flush_all(obsv::DrainKind::Sync);
         drop(cache);
         let dev = bd.byte_device().clone();
         drop(bd);
@@ -145,6 +145,7 @@ impl Extfs {
         let env = bd.byte_device().env().clone();
         let obs = Arc::new(FsObs::default());
         obs.set_spans(bd.byte_device().spans().clone());
+        cache.attach_obs(obs.clone());
         let contention = bd.byte_device().contention().clone();
         balloc.attach_contention(&contention);
         ialloc.attach_contention(&contention);
@@ -195,6 +196,7 @@ impl Extfs {
             op,
             || self.env.now(),
             || {
+                let _lin = self.obs.lineage().op_scope(op);
                 if !self.obs.timing_enabled() {
                     return f();
                 }
@@ -211,14 +213,16 @@ impl Extfs {
     }
 
     /// Commits the running jbd transaction, tracing the commit when it
-    /// actually wrote something.
-    fn jbd_commit(&self) {
+    /// actually wrote something. `kind` classifies the durability drain:
+    /// sync when a caller asked for it (fsync, sync, unmount), lazy for
+    /// the periodic tick.
+    fn jbd_commit(&self, kind: obsv::DrainKind) {
         let pending = self.jbd.running_len() as u64;
         self.bd.byte_device().spans().scope(
             Phase::Journal,
             || self.env.now(),
             || {
-                self.jbd.commit(&self.cache);
+                self.jbd.commit(&self.cache, kind);
             },
         );
         if pending > 0 {
@@ -449,6 +453,8 @@ impl Extfs {
             }
         }
         dev.write_persist(Cat::UserWrite, base + in_blk as u64, payload);
+        // Single-copy persist straight to NVMM: durable at op return.
+        self.obs.lineage().record_inline_drain(payload.len() as u64);
         Ok(())
     }
 
@@ -477,6 +483,7 @@ impl Extfs {
             .checked_add(data.len() as u64)
             .filter(|&e| e / BLOCK_SIZE as u64 <= blkmap::max_blocks())
             .ok_or(FsError::FileTooLarge)?;
+        obsv::note_logical(data.len() as u64);
         let mut done = 0;
         while done < data.len() {
             let pos = off + done as u64;
@@ -570,14 +577,14 @@ impl Extfs {
         // journal and device see a run-independent sequence.
         blocks.sort_unstable();
         for blk in blocks {
-            self.cache.flush_block(blk);
+            self.cache.flush_block(blk, obsv::DrainKind::Sync);
         }
         if self.jbd.enabled() {
-            self.jbd_commit();
+            self.jbd_commit(obsv::DrainKind::Sync);
         } else {
             // ext2: push the inode block too, then barrier.
             let (iblk, _) = self.layout.inode_loc(ino);
-            self.cache.flush_block(iblk);
+            self.cache.flush_block(iblk, obsv::DrainKind::Sync);
         }
         self.bd.flush();
         Ok(())
@@ -876,18 +883,20 @@ impl FileSystem for Extfs {
 
     fn sync(&self) -> Result<()> {
         self.env.charge_syscall();
-        self.jbd_commit();
-        self.cache.flush_all();
+        let _lin = self.obs.lineage().bg_scope();
+        self.jbd_commit(obsv::DrainKind::Sync);
+        self.cache.flush_all(obsv::DrainKind::Sync);
         self.bd.flush();
         Ok(())
     }
 
     fn unmount(&self) -> Result<()> {
         self.env.charge_syscall();
-        self.jbd_commit();
-        self.cache.flush_all();
+        let _lin = self.obs.lineage().bg_scope();
+        self.jbd_commit(obsv::DrainKind::Sync);
+        self.cache.flush_all(obsv::DrainKind::Sync);
         layout::set_clean(&self.cache, true, self.now());
-        self.cache.flush_all();
+        self.cache.flush_all(obsv::DrainKind::Sync);
         self.bd.flush();
         Ok(())
     }
@@ -896,7 +905,8 @@ impl FileSystem for Extfs {
         let last = self.last_commit.load(Ordering::Relaxed);
         if now_ns.saturating_sub(last) >= self.opts.periodic_commit_ns {
             self.last_commit.store(now_ns, Ordering::Relaxed);
-            self.jbd_commit();
+            let _lin = self.obs.lineage().bg_scope();
+            self.jbd_commit(obsv::DrainKind::Lazy);
             self.cache.flush_older_than(now_ns, self.opts.dirty_age_ns);
         }
     }
@@ -915,6 +925,11 @@ impl obsv::Introspect for Extfs {
                 hits,
                 misses,
             }),
+            lineage: self
+                .obs
+                .lineage()
+                .enabled()
+                .then(|| self.obs.lineage().snap()),
             ..obsv::FsSnapshot::default()
         }
     }

@@ -20,7 +20,7 @@ use std::sync::Arc;
 
 use blockdev::Nvmmbd;
 use nvmm::{Cat, BLOCK_SIZE};
-use obsv::{Site, TrackedMutex};
+use obsv::{DrainKind, Site, TrackedMutex};
 
 use crate::cache::BufferCache;
 
@@ -128,9 +128,10 @@ impl Jbd {
         self.inner.lock().commits
     }
 
-    /// Commits the running transaction. The caller has already flushed the
-    /// related *data* pages (ordered mode).
-    pub fn commit(&self, cache: &BufferCache) {
+    /// Commits the running transaction, draining the journaled pages'
+    /// lineage stamps as `kind` (the commit makes them recoverable). The
+    /// caller has already flushed the related *data* pages (ordered mode).
+    pub fn commit(&self, cache: &BufferCache, kind: DrainKind) {
         if !self.enabled {
             return;
         }
@@ -151,11 +152,12 @@ impl Jbd {
             for &b in &blks {
                 cache.unpin(b);
             }
-            cache.flush_all();
+            cache.flush_all(kind);
             self.bd.flush();
             inner.write_ptr = 0;
             self.bd
                 .write_block(Cat::Journal, self.start, &vec![0u8; BLOCK_SIZE]);
+            obsv::note_journaled(BLOCK_SIZE as u64);
             self.bd.flush();
             // Everything of this transaction is already in place; no
             // journal records needed.
@@ -163,6 +165,7 @@ impl Jbd {
             inner.commits += 1;
             return;
         }
+        let ring_before = inner.write_ptr;
         for group in revoked.chunks(DESC_CAPACITY) {
             let mut rev = vec![0u8; BLOCK_SIZE];
             rev[0..8].copy_from_slice(&REVOKE_MAGIC.to_le_bytes());
@@ -203,9 +206,14 @@ impl Jbd {
         self.bd
             .write_block(Cat::Journal, self.start + inner.write_ptr, &commit);
         inner.write_ptr += 1;
+        obsv::note_journaled((inner.write_ptr - ring_before) * BLOCK_SIZE as u64);
         self.bd.flush();
         inner.seq += 1;
         inner.commits += 1;
+        drop(inner);
+        // The commit record is durable: the journaled pages' acked
+        // content is now recoverable, so their stamps retire here.
+        cache.note_committed(&blks, kind);
         for &blk in &blks {
             cache.unpin(blk);
         }
@@ -334,7 +342,7 @@ mod tests {
         // Dirty a metadata block, journal it, commit — but never checkpoint.
         cache.write(Cat::Meta, 200, 0, &[7u8; 64], 0);
         jbd.add(&cache, 200);
-        jbd.commit(&cache);
+        jbd.commit(&cache, DrainKind::Sync);
         // Crash: the in-place block was never written (page still dirty).
         bd.byte_device().crash();
         let replayed = Jbd::replay(&bd, 1, 64);
@@ -350,7 +358,7 @@ mod tests {
         cache.write(Cat::Meta, 201, 0, &[9u8; 64], 0);
         jbd.add(&cache, 201);
         // No commit; pinned page cannot be flushed in place either.
-        cache.flush_all();
+        cache.flush_all(DrainKind::Sync);
         bd.byte_device().crash();
         assert_eq!(Jbd::replay(&bd, 1, 64), 0);
         let mut buf = vec![0u8; BLOCK_SIZE];
@@ -374,8 +382,8 @@ mod tests {
             &[0u8; 64],
             "pinned page never written in place"
         );
-        jbd.commit(&cache);
-        cache.flush_all();
+        jbd.commit(&cache, DrainKind::Sync);
+        cache.flush_all(DrainKind::Sync);
         bd.byte_device().peek(300 * BLOCK_SIZE as u64, &mut direct);
         assert_eq!(&direct[0..64], &[1u8; 64]);
     }
@@ -386,7 +394,7 @@ mod tests {
         for round in 1..=3u8 {
             cache.write(Cat::Meta, 210, 0, &[round; 64], 0);
             jbd.add(&cache, 210);
-            jbd.commit(&cache);
+            jbd.commit(&cache, DrainKind::Sync);
         }
         bd.byte_device().crash();
         assert_eq!(Jbd::replay(&bd, 1, 64), 3);
@@ -402,7 +410,7 @@ mod tests {
         for i in 0..40u64 {
             cache.write(Cat::Meta, 220 + (i % 5), 0, &[i as u8; 64], 0);
             jbd.add(&cache, 220 + (i % 5));
-            jbd.commit(&cache);
+            jbd.commit(&cache, DrainKind::Sync);
         }
         assert_eq!(jbd.commits(), 40);
         // After crash, replay must still leave a consistent image: whatever
@@ -422,7 +430,7 @@ mod tests {
         let (bd, cache, jbd) = setup();
         cache.write(Cat::Meta, 400, 0, &[0xEE; 64], 0);
         jbd.add(&cache, 400);
-        jbd.commit(&cache);
+        jbd.commit(&cache, DrainKind::Sync);
         // Free + revoke, then the block gets a new life as data.
         jbd.forget(&cache, 400);
         cache.invalidate(400);
@@ -430,7 +438,7 @@ mod tests {
         // The revoke must be committed (it rides the next commit).
         cache.write(Cat::Meta, 401, 0, &[1; 8], 0);
         jbd.add(&cache, 401);
-        jbd.commit(&cache);
+        jbd.commit(&cache, DrainKind::Sync);
         bd.byte_device().crash();
         Jbd::replay(&bd, 1, 64);
         let mut buf = vec![0u8; BLOCK_SIZE];
@@ -451,11 +459,11 @@ mod tests {
         cache.write(Cat::Meta, 100, 0, &[1u8; 64], 0);
         jbd.add(&cache, 100);
         let (_, w0, _) = bd.request_counts();
-        jbd.commit(&cache);
+        jbd.commit(&cache, DrainKind::Sync);
         let (_, w1, _) = bd.request_counts();
         assert_eq!(w0, w1, "ext2 mode journals nothing");
         // And the page is not pinned: flush_all writes it.
-        cache.flush_all();
+        cache.flush_all(DrainKind::Sync);
         let (_, w2, _) = bd.request_counts();
         assert_eq!(w2, w1 + 1);
     }

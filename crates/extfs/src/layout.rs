@@ -123,7 +123,7 @@ pub fn write_superblock(cache: &BufferCache, l: &ExtLayout, now: u64) {
     put(sbo::DATA_START, l.data_start);
     put(sbo::CLEAN, 1);
     cache.write(Cat::Meta, 0, 0, &block, now);
-    cache.flush_block(0);
+    cache.flush_block(0, obsv::DrainKind::Sync);
 }
 
 /// Reads and validates the superblock; returns the layout and clean flag.
@@ -156,7 +156,7 @@ pub fn read_superblock(cache: &BufferCache) -> Result<(ExtLayout, bool)> {
 /// Sets the clean flag and flushes the superblock.
 pub fn set_clean(cache: &BufferCache, clean: bool, now: u64) {
     cache.write(Cat::Meta, 0, sbo::CLEAN, &(clean as u64).to_le_bytes(), now);
-    cache.flush_block(0);
+    cache.flush_block(0, obsv::DrainKind::Sync);
 }
 
 #[cfg(test)]

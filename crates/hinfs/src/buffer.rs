@@ -114,6 +114,9 @@ pub struct BlockMeta {
     /// (the paper's Index Node stores both the DRAM and the NVMM block
     /// numbers, Fig 5). Zero = not yet mapped (allocate on flush).
     pub nvmm_block: u64,
+    /// Lineage ack stamp of the clean→dirty transition (provenance of
+    /// the data a later flush drains; default when lineage is off).
+    pub stamp: obsv::Stamp,
 }
 
 impl BlockMeta {
@@ -125,6 +128,7 @@ impl BlockMeta {
             dirty: 0,
             last_write_ns: 0,
             nvmm_block: 0,
+            stamp: obsv::Stamp::default(),
         }
     }
 }
@@ -174,6 +178,7 @@ impl Pool {
             dirty: 0,
             last_write_ns: now,
             nvmm_block: 0,
+            stamp: obsv::Stamp::default(),
         };
         self.lrw.push_head(slot);
         Some(slot)
@@ -223,6 +228,9 @@ pub struct LocalTx {
     pub tx: pmfs::TxHandle,
     /// File blocks still awaiting flush.
     pub pending: HashSet<u64>,
+    /// Lineage ack stamp of the journaling op (the deferred commit's
+    /// durability lag is measured against this).
+    pub stamp: obsv::Stamp,
 }
 
 /// Buffer Benefit Model counters for one data block (paper §3.3.2).

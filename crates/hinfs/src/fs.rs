@@ -108,6 +108,7 @@ impl Hinfs {
             op,
             || self.env.now(),
             || {
+                let _lin = self.obs.lineage().op_scope(op);
                 if !self.obs.timing_enabled() {
                     return f();
                 }
@@ -239,6 +240,7 @@ impl Hinfs {
             .checked_add(total)
             .filter(|&e| e <= pmfs::file::MAX_FILE_SIZE)
             .ok_or(FsError::FileTooLarge)?;
+        obsv::note_logical(total);
         let now = self.env.now();
         let case1 = of.flags.contains(OpenFlags::SYNC) || self.cfg.sync_mount;
         let old_size = state.size;
@@ -310,7 +312,12 @@ impl Hinfs {
                             }
                             // Either way the buffered copy leaves the buffer
                             // so NVMM stays the single source of truth.
-                            let _ = self.evict_slot_locked(&mut sh, slot, Some(state))?;
+                            let _ = self.evict_slot_locked(
+                                &mut sh,
+                                slot,
+                                Some(state),
+                                obsv::DrainKind::Sync,
+                            )?;
                         }
                     }
                     if !absorbed {
@@ -322,6 +329,8 @@ impl Hinfs {
                             payload,
                             now,
                         )?;
+                        // Eager-persistent: durable at op return, lag 0.
+                        self.obs.lineage().record_inline_drain(payload.len() as u64);
                     }
                     let mut sh = self.shard(ino).lock();
                     checker::record_write(sh.file_mut(ino), iblk, mask, false);
@@ -358,9 +367,19 @@ impl Hinfs {
                 sh.slot_of(ino, iblk)
                     .is_some_and(|s| sh.pool().meta(s).dirty != 0)
             });
+            let tstamp = self.obs.lineage().stamp(now, self.obs.trace.emitted());
             let file = sh.file_mut(ino);
-            tracker::enqueue(file, tx, pending, &self.stats);
-            tracker::drain_ready(file, self.inner.journal(), &self.stats);
+            tracker::enqueue(file, tx, pending, tstamp, &self.stats);
+            // A commit that happens here runs inside the op that logged
+            // it — the metadata is durable before the ack.
+            tracker::drain_ready(
+                file,
+                self.inner.journal(),
+                self.obs.lineage(),
+                obsv::DrainKind::Sync,
+                now,
+                &self.stats,
+            );
         }
         if case1 {
             // O_SYNC semantics: data *and* metadata durable on return.
@@ -404,6 +423,7 @@ impl Hinfs {
                     Cat::UserWrite,
                     mask.count_ones() as u64 * self.env.cost().dram_write_latency_ns,
                 );
+                obsv::note_buffered(payload.len() as u64);
                 sh.pool_mut().block_mut(slot)[in_blk..in_blk + payload.len()]
                     .copy_from_slice(payload);
                 let was_clean = sh.pool().meta(slot).dirty == 0;
@@ -415,6 +435,10 @@ impl Hinfs {
                 }
                 if was_clean && mask != 0 {
                     sh.dirty_blocks += 1;
+                    // The clean→dirty transition is the ack the durability
+                    // lag is measured from.
+                    sh.pool_mut().meta_mut(slot).stamp =
+                        self.obs.lineage().stamp(now, self.obs.trace.emitted());
                 }
                 sh.pool_mut().lrw.touch(slot);
             },
@@ -634,7 +658,7 @@ impl Hinfs {
             });
         }
         for (_, slot, _) in &dirty {
-            match self.flush_slot_locked(&mut sh, *slot, Some(state))? {
+            match self.flush_slot_locked(&mut sh, *slot, Some(state), obsv::DrainKind::Sync)? {
                 FlushTry::Done => {}
                 FlushTry::NeedsInode(_) => unreachable!("own inode state provided"),
             }
@@ -680,7 +704,8 @@ impl Hinfs {
             // NVMM stays the single source of truth for them.
             for iblk in to_evict {
                 if let Some(slot) = sh.slot_of(ino, iblk) {
-                    let _ = self.evict_slot_locked(&mut sh, slot, Some(state))?;
+                    let _ =
+                        self.evict_slot_locked(&mut sh, slot, Some(state), obsv::DrainKind::Sync)?;
                 }
             }
         }
@@ -691,7 +716,14 @@ impl Hinfs {
             for t in &mut file.txs {
                 t.pending.clear();
             }
-            tracker::drain_ready(file, self.inner.journal(), &self.stats);
+            tracker::drain_ready(
+                file,
+                self.inner.journal(),
+                self.obs.lineage(),
+                obsv::DrainKind::Sync,
+                now,
+                &self.stats,
+            );
             debug_assert!(
                 file.txs.is_empty(),
                 "fsync left open transactions for ino {ino}"
@@ -722,7 +754,12 @@ impl Hinfs {
             // With allocate-on-flush the never-flushed blocks are holes on
             // NVMM, so committing the open transactions exposes zeroes at
             // worst — and the file is being deleted anyway.
-            tracker::force_commit_all(&mut file, self.inner.journal(), &self.stats);
+            tracker::force_commit_all(
+                &mut file,
+                self.inner.journal(),
+                self.obs.lineage(),
+                &self.stats,
+            );
         }
     }
 
@@ -971,7 +1008,8 @@ impl FileSystem for Hinfs {
                 None => Vec::new(),
             };
             for slot in slots {
-                let _ = self.evict_slot_locked(&mut sh, slot, Some(&mut guard))?;
+                let _ =
+                    self.evict_slot_locked(&mut sh, slot, Some(&mut guard), obsv::DrainKind::Sync)?;
             }
             sh.file_mut(of.ino).mmap_pinned = true;
         }

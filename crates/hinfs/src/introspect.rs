@@ -113,6 +113,11 @@ impl Introspect for Hinfs {
                 open_txs: u.open_txs,
                 generation: u.generation,
             }),
+            lineage: self
+                .obs
+                .lineage()
+                .enabled()
+                .then(|| self.obs.lineage().snap()),
             ..FsSnapshot::default()
         }
     }
@@ -220,6 +225,14 @@ impl Hinfs {
             // journal.reserved (cross-layer): every journal-side open
             // transaction belongs to some file's FIFO in some shard.
             rep.check_eq(9, 0, 0, self.inner.journal().usage().open_txs, open_sum);
+            // lineage.sync_decay_bound: no acked write may stay volatile
+            // longer than the mount's own staleness promise — the 30 s
+            // dirty-age rule plus up to two periodic-pass periods of
+            // scheduling slack.
+            if self.obs.lineage().enabled() {
+                let bound = self.cfg.dirty_age_ns + 2 * self.cfg.periodic_wb_ns;
+                rep.check_le(14, 0, 0, self.obs.lineage().max_lag_ns(), bound);
+            }
             rep.merge(Introspect::audit(self.inner.as_ref()));
         }
         rep

@@ -13,40 +13,76 @@
 //! all journal the same inode core, and undo records are only safe to leave
 //! behind if commits happen in logging order — otherwise recovery of an
 //! older open transaction would roll back a newer committed one.
+//!
+//! Each open transaction carries a lineage [`obsv::Stamp`]: the deferred
+//! commit record is the moment the journaled metadata becomes durable, so
+//! a drain is recorded against the stamp when the commit happens — lag 0
+//! when the commit runs inside the synchronization the caller asked for
+//! ([`obsv::DrainKind::Sync`]), the real ack-to-commit age when the
+//! writeback machinery commits it behind the caller's back.
 
 use std::collections::HashSet;
 
+use obsv::{DrainKind, LineageTable};
 use pmfs::{Journal, TxHandle};
 
 use crate::buffer::{FileBuf, LocalTx};
 use crate::stats::HinfsStats;
 
-/// Enqueues a transaction with the blocks whose flush it awaits. Pass an
-/// empty set for transactions with no buffered data (they still wait their
-/// FIFO turn).
-pub fn enqueue(file: &mut FileBuf, tx: TxHandle, pending: HashSet<u64>, stats: &HinfsStats) {
+/// Enqueues a transaction with the blocks whose flush it awaits and the
+/// lineage stamp of the journaling op. Pass an empty set for transactions
+/// with no buffered data (they still wait their FIFO turn).
+pub fn enqueue(
+    file: &mut FileBuf,
+    tx: TxHandle,
+    pending: HashSet<u64>,
+    stamp: obsv::Stamp,
+    stats: &HinfsStats,
+) {
     HinfsStats::bump(&stats.txs_opened, 1);
-    file.txs.push_back(LocalTx { tx, pending });
+    file.txs.push_back(LocalTx { tx, pending, stamp });
 }
 
 /// Records that `(file, iblk)` reached NVMM: clears it from every open
-/// transaction and commits the ready prefix.
-pub fn note_flushed(file: &mut FileBuf, journal: &Journal, iblk: u64, stats: &HinfsStats) {
+/// transaction and commits the ready prefix. The commit drains inherit
+/// the flush's drain kind (a flush inside fsync commits synchronously; a
+/// writeback-pass flush commits behind the caller's back).
+pub fn note_flushed(
+    file: &mut FileBuf,
+    journal: &Journal,
+    iblk: u64,
+    lin: &LineageTable,
+    kind: DrainKind,
+    now: u64,
+    stats: &HinfsStats,
+) {
     for t in &mut file.txs {
         t.pending.remove(&iblk);
     }
-    drain_ready(file, journal, stats);
+    drain_ready(file, journal, lin, kind, now, stats);
 }
 
 /// Commits transactions from the front of the FIFO while they are ready —
 /// as one group commit, so a drain of N transactions costs one journal
 /// lock hold and two fences instead of two fences per transaction.
-pub fn drain_ready(file: &mut FileBuf, journal: &Journal, stats: &HinfsStats) {
+pub fn drain_ready(
+    file: &mut FileBuf,
+    journal: &Journal,
+    lin: &LineageTable,
+    kind: DrainKind,
+    now: u64,
+    stats: &HinfsStats,
+) {
     let ready = file.txs.iter().take_while(|t| t.pending.is_empty()).count();
     if ready == 0 {
         return;
     }
-    let batch: Vec<_> = file.txs.drain(..ready).map(|t| t.tx).collect();
+    let mut batch = Vec::with_capacity(ready);
+    for t in file.txs.drain(..ready) {
+        // Metadata commit: durability lag only, no data bytes drain.
+        lin.record_drain(&t.stamp, kind, now, 0);
+        batch.push(t.tx);
+    }
     HinfsStats::bump(&stats.txs_committed, ready as u64);
     journal.commit_group(batch);
 }
@@ -55,9 +91,19 @@ pub fn drain_ready(file: &mut FileBuf, journal: &Journal, stats: &HinfsStats) {
 /// requirements. Used when the file's buffered data is discarded (unlink of
 /// a file whose writes will never be performed — with allocate-on-flush the
 /// unflushed blocks are holes, so committing early exposes zeroes at worst,
-/// never garbage).
-pub fn force_commit_all(file: &mut FileBuf, journal: &Journal, stats: &HinfsStats) {
-    let batch: Vec<_> = file.txs.drain(..).map(|t| t.tx).collect();
+/// never garbage). The data never needed durability, so the commits record
+/// sync (lag-0) drains.
+pub fn force_commit_all(
+    file: &mut FileBuf,
+    journal: &Journal,
+    lin: &LineageTable,
+    stats: &HinfsStats,
+) {
+    let mut batch = Vec::with_capacity(file.txs.len());
+    for t in file.txs.drain(..) {
+        lin.record_drain(&t.stamp, DrainKind::Sync, 0, 0);
+        batch.push(t.tx);
+    }
     HinfsStats::bump(&stats.txs_committed, batch.len() as u64);
     journal.commit_group(batch);
 }
@@ -86,21 +132,26 @@ mod tests {
         iblks.iter().copied().collect()
     }
 
+    fn no_stamp() -> obsv::Stamp {
+        obsv::Stamp::default()
+    }
+
     #[test]
     fn fifo_commit_order_is_preserved() {
         let (_d, j, _l) = journal();
         let stats = HinfsStats::new();
+        let lin = LineageTable::new();
         let mut f = FileBuf::new();
         let t1 = j.begin().unwrap();
         let t2 = j.begin().unwrap();
-        enqueue(&mut f, t1, pending(&[1]), &stats);
-        enqueue(&mut f, t2, pending(&[2]), &stats);
+        enqueue(&mut f, t1, pending(&[1]), no_stamp(), &stats);
+        enqueue(&mut f, t2, pending(&[2]), no_stamp(), &stats);
         // Block 2 flushes first: t2 is ready but t1 blocks the FIFO.
-        note_flushed(&mut f, &j, 2, &stats);
+        note_flushed(&mut f, &j, 2, &lin, DrainKind::Sync, 0, &stats);
         assert_eq!(f.txs.len(), 2, "t2 must wait for t1");
         assert_eq!(j.open_txs(), 2);
         // Block 1 flushes: both drain in order.
-        note_flushed(&mut f, &j, 1, &stats);
+        note_flushed(&mut f, &j, 1, &lin, DrainKind::Sync, 0, &stats);
         assert!(f.txs.is_empty());
         assert_eq!(j.open_txs(), 0);
         assert_eq!(stats.snapshot().txs_committed, 2);
@@ -110,14 +161,15 @@ mod tests {
     fn shared_block_across_transactions() {
         let (_d, j, _l) = journal();
         let stats = HinfsStats::new();
+        let lin = LineageTable::new();
         let mut f = FileBuf::new();
         let t1 = j.begin().unwrap();
         let t2 = j.begin().unwrap();
-        enqueue(&mut f, t1, pending(&[5]), &stats);
-        enqueue(&mut f, t2, pending(&[5, 6]), &stats);
-        note_flushed(&mut f, &j, 5, &stats);
+        enqueue(&mut f, t1, pending(&[5]), no_stamp(), &stats);
+        enqueue(&mut f, t2, pending(&[5, 6]), no_stamp(), &stats);
+        note_flushed(&mut f, &j, 5, &lin, DrainKind::Sync, 0, &stats);
         assert_eq!(f.txs.len(), 1, "t1 committed, t2 still waits on 6");
-        note_flushed(&mut f, &j, 6, &stats);
+        note_flushed(&mut f, &j, 6, &lin, DrainKind::Sync, 0, &stats);
         assert!(f.txs.is_empty());
     }
 
@@ -125,14 +177,15 @@ mod tests {
     fn empty_pending_still_waits_its_turn() {
         let (_d, j, _l) = journal();
         let stats = HinfsStats::new();
+        let lin = LineageTable::new();
         let mut f = FileBuf::new();
         let t1 = j.begin().unwrap();
         let t2 = j.begin().unwrap();
-        enqueue(&mut f, t1, pending(&[9]), &stats);
-        enqueue(&mut f, t2, HashSet::new(), &stats);
-        drain_ready(&mut f, &j, &stats);
+        enqueue(&mut f, t1, pending(&[9]), no_stamp(), &stats);
+        enqueue(&mut f, t2, HashSet::new(), no_stamp(), &stats);
+        drain_ready(&mut f, &j, &lin, DrainKind::Sync, 0, &stats);
         assert_eq!(f.txs.len(), 2, "ready t2 must not jump over t1");
-        note_flushed(&mut f, &j, 9, &stats);
+        note_flushed(&mut f, &j, 9, &lin, DrainKind::Sync, 0, &stats);
         assert!(f.txs.is_empty());
     }
 
@@ -140,14 +193,33 @@ mod tests {
     fn force_commit_clears_everything() {
         let (_d, j, _l) = journal();
         let stats = HinfsStats::new();
+        let lin = LineageTable::new();
         let mut f = FileBuf::new();
         for i in 0..5u64 {
             let t = j.begin().unwrap();
-            enqueue(&mut f, t, pending(&[i]), &stats);
+            enqueue(&mut f, t, pending(&[i]), no_stamp(), &stats);
         }
-        force_commit_all(&mut f, &j, &stats);
+        force_commit_all(&mut f, &j, &lin, &stats);
         assert!(f.txs.is_empty());
         assert_eq!(j.open_txs(), 0);
         assert_eq!(stats.snapshot().txs_committed, 5);
+    }
+
+    #[test]
+    fn deferred_commits_record_lag_against_the_stamp() {
+        let (_d, j, _l) = journal();
+        let stats = HinfsStats::new();
+        let lin = LineageTable::new();
+        lin.set_enabled(true);
+        let mut f = FileBuf::new();
+        let t1 = j.begin().unwrap();
+        let stamp = lin.stamp(1_000, 3);
+        enqueue(&mut f, t1, pending(&[1]), stamp, &stats);
+        // A writeback-pass flush 4 µs later commits the deferred tx with
+        // real lag; a sync commit would have asserted 0.
+        note_flushed(&mut f, &j, 1, &lin, DrainKind::Lazy, 5_000, &stats);
+        let s = lin.snap();
+        assert_eq!(s.drains_lazy, 1);
+        assert_eq!(s.max_lag_ns, 4_000);
     }
 }

@@ -24,7 +24,7 @@ use std::thread::JoinHandle;
 
 use fskit::{FsError, Result};
 use nvmm::{Cat, TimeMode, BLOCK_SIZE, CACHELINE};
-use obsv::{ContentionTable, Site, TrackedCondvar, TrackedMutex};
+use obsv::{ContentionTable, DrainKind, Site, TraceEvent, TrackedCondvar, TrackedMutex};
 use pmfs::inode::InodeMem;
 use pmfs::Layout;
 
@@ -81,11 +81,17 @@ impl Hinfs {
     /// shared lock; `state` supplies the owner inode when available. When
     /// the block covers a file hole and `state` is `None`, returns
     /// [`FlushTry::NeedsInode`] without side effects.
+    ///
+    /// `kind` classifies the drain for lineage: [`DrainKind::Sync`] when
+    /// the flush runs inside a synchronization the caller asked for
+    /// (fsync, O_SYNC eviction, sync/unmount), [`DrainKind::Lazy`] when
+    /// the writeback machinery flushes behind the caller's back.
     pub(crate) fn flush_slot_locked(
         &self,
         sh: &mut Shared,
         slot: u32,
         state: Option<&mut InodeMem>,
+        kind: DrainKind,
     ) -> Result<FlushTry> {
         let meta = *sh.pool().meta(slot);
         if meta.dirty == 0 {
@@ -138,6 +144,9 @@ impl Hinfs {
                                 sh.file_mut(meta.ino),
                                 tx,
                                 HashSet::new(),
+                                self.obs
+                                    .lineage()
+                                    .stamp(self.env.now(), self.obs.trace.emitted()),
                                 &self.stats,
                             ),
                             // Ring too full even for two undo entries:
@@ -165,10 +174,31 @@ impl Hinfs {
             m.nvmm_block = pblk;
         }
         sh.dirty_blocks -= 1;
+        // The flush retires the block's ack stamp: record the durability
+        // lag and put the causal link on the trace ring (the drained
+        // event carries the origin op's seq window).
+        let lin = self.obs.lineage();
+        if lin.enabled() {
+            let drained = meta.dirty.count_ones() as u64 * CACHELINE as u64;
+            let now = self.env.now();
+            let lag = lin.record_drain(&meta.stamp, kind, now, drained);
+            let seq_hi = self.obs.trace.emitted();
+            self.obs.trace.emit(now, || TraceEvent::LineageDrained {
+                row: meta.stamp.row as u64,
+                lazy: kind == DrainKind::Lazy,
+                bytes: drained,
+                lag_ns: lag,
+                seq_lo: meta.stamp.seq,
+                seq_hi,
+            });
+        }
         tracker::note_flushed(
             sh.file_mut(meta.ino),
             self.inner.journal(),
             meta.iblk,
+            lin,
+            kind,
+            self.env.now(),
             &self.stats,
         );
         Ok(FlushTry::Done)
@@ -181,8 +211,9 @@ impl Hinfs {
         sh: &mut Shared,
         slot: u32,
         state: Option<&mut InodeMem>,
+        kind: DrainKind,
     ) -> Result<FlushTry> {
-        if let FlushTry::NeedsInode(ino) = self.flush_slot_locked(sh, slot, state)? {
+        if let FlushTry::NeedsInode(ino) = self.flush_slot_locked(sh, slot, state, kind)? {
             return Ok(FlushTry::NeedsInode(ino));
         }
         let meta = *sh.pool().meta(slot);
@@ -263,7 +294,11 @@ impl Hinfs {
                 let state = own.as_mut().map(|(_, st)| &mut **st);
                 // Self-sufficient or own-inode victims cannot fail with
                 // NeedsInode; allocator exhaustion aborts the pass.
-                if self.evict_slot_locked(&mut sh, slot, state).is_err() {
+                // Pool-pressure eviction drains behind the ack: lazy.
+                if self
+                    .evict_slot_locked(&mut sh, slot, state, DrainKind::Lazy)
+                    .is_err()
+                {
                     return victims;
                 }
                 victims += 1;
@@ -292,7 +327,7 @@ impl Hinfs {
                 && sh.pool().meta(slot).ino == foreign_ino;
             if still
                 && self
-                    .evict_slot_locked(&mut sh, slot, Some(&mut guard))
+                    .evict_slot_locked(&mut sh, slot, Some(&mut guard), DrainKind::Lazy)
                     .is_ok()
             {
                 victims += 1;
@@ -321,6 +356,9 @@ impl Hinfs {
         if nvmm::fault::writeback_stalled(self.inner.device()) {
             return;
         }
+        // Background provenance: traffic of this pass lands in the bg row
+        // (when an op's own reclaim runs inline, its frame stays owner).
+        let _lin = self.obs.lineage().bg_scope();
         {
             let sh = self.shards[si].lock();
             let cap = sh.pool().capacity();
@@ -347,7 +385,7 @@ impl Hinfs {
                 }
             }
             let Some((slot, ino)) = target else { break };
-            match self.flush_slot_locked(&mut sh, slot, None) {
+            match self.flush_slot_locked(&mut sh, slot, None, DrainKind::Lazy) {
                 Ok(FlushTry::Done) => {
                     age_flushed += 1;
                     continue;
@@ -362,7 +400,12 @@ impl Hinfs {
                     let iblk = sh.pool().meta(slot).iblk;
                     if sh.slot_of(ino, iblk) == Some(slot)
                         && matches!(
-                            self.flush_slot_locked(&mut sh, slot, Some(&mut guard)),
+                            self.flush_slot_locked(
+                                &mut sh,
+                                slot,
+                                Some(&mut guard),
+                                DrainKind::Lazy
+                            ),
                             Ok(FlushTry::Done)
                         )
                     {
@@ -477,19 +520,21 @@ impl Hinfs {
         }
     }
 
-    /// Flushes every dirty buffered block of every file (sync/unmount).
+    /// Flushes every dirty buffered block of every file (sync/unmount) —
+    /// a synchronization the caller asked for, so the drains are sync.
     pub(crate) fn flush_all(&self) -> Result<()> {
-        self.flush_files(true)
+        self.flush_files(true, DrainKind::Sync)
     }
 
     /// Best-effort global flush that skips inodes whose locks are busy.
     /// Used to relieve journal pressure while a file lock is already held
     /// (blocking there could deadlock with another writer doing the same).
+    /// Nobody asked for this data to become durable — the drains are lazy.
     pub(crate) fn flush_all_opportunistic(&self) {
-        let _ = self.flush_files(false);
+        let _ = self.flush_files(false, DrainKind::Lazy);
     }
 
-    fn flush_files(&self, blocking: bool) -> Result<()> {
+    fn flush_files(&self, blocking: bool, kind: DrainKind) -> Result<()> {
         // Shards are visited in index order and inos sorted within each:
         // flush order feeds the journal and the bandwidth-gate calendar,
         // and HashMap order would make virtual time run-dependent.
@@ -522,7 +567,7 @@ impl Hinfs {
                 };
                 for slot in slots {
                     if sh.pool().meta(slot).dirty != 0 {
-                        match self.flush_slot_locked(&mut sh, slot, Some(&mut guard))? {
+                        match self.flush_slot_locked(&mut sh, slot, Some(&mut guard), kind)? {
                             FlushTry::Done => {}
                             FlushTry::NeedsInode(_) => {
                                 return Err(FsError::Corrupted("flush_all could not map block"))
@@ -536,7 +581,14 @@ impl Hinfs {
                     for t in &mut file.txs {
                         t.pending.clear();
                     }
-                    tracker::drain_ready(file, self.inner.journal(), &self.stats);
+                    tracker::drain_ready(
+                        file,
+                        self.inner.journal(),
+                        self.obs.lineage(),
+                        kind,
+                        self.env.now(),
+                        &self.stats,
+                    );
                     debug_assert!(file.txs.is_empty(), "flush_all left open transactions");
                 }
             }

@@ -106,6 +106,7 @@ fn trace_kind_idx(ev: &TraceEvent) -> u64 {
         TraceEvent::RecoveryEnd { .. } => 8,
         TraceEvent::FaultInjected { .. } => 9,
         TraceEvent::AuditViolation { .. } => 10,
+        TraceEvent::LineageDrained { .. } => 11,
     }
 }
 
@@ -132,6 +133,9 @@ fn trace_sub_feature(ev: &TraceEvent) -> u64 {
         } => (mag_bucket(txs_undone) << 8) | mag_bucket(entries_undone),
         TraceEvent::FaultInjected { kind, .. } => kind,
         TraceEvent::AuditViolation { code, .. } => code,
+        TraceEvent::LineageDrained {
+            row, lazy, lag_ns, ..
+        } => (row << 16) | (u64::from(lazy) << 8) | mag_bucket(lag_ns),
     }
 }
 

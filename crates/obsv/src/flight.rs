@@ -208,6 +208,7 @@ pub(crate) fn note_wait(site: Site, wait_ns: u64) {
 /// fences).
 #[inline]
 pub fn note_fence(coalesced: u64) {
+    crate::lineage::frame_note_fence();
     if !ACTIVE.get() {
         return;
     }
@@ -221,6 +222,7 @@ pub fn note_fence(coalesced: u64) {
 /// Books `bytes` persisted to NVMM (cacheline granularity).
 #[inline]
 pub fn note_persisted(bytes: u64) {
+    crate::lineage::frame_note_persisted(bytes);
     if !ACTIVE.get() {
         return;
     }

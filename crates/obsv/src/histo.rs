@@ -209,8 +209,15 @@ impl HistoSnapshot {
     }
 
     /// The samples recorded between `earlier` and `self` (`self` must be
-    /// the later snapshot of the same histogram). `max` carries over from
-    /// `self` — a maximum cannot be diffed.
+    /// the later snapshot of the same histogram).
+    ///
+    /// The window's `max` is exact when it can be (0 for an empty
+    /// window; the running max when a sample inside the window set a new
+    /// one). When only the bucket deltas are known — the old max's value
+    /// was matched or undercut inside the window — it falls back to the
+    /// upper edge of the highest bucket that gained samples, clamped to
+    /// the running max, so it never reports a stale maximum from outside
+    /// the window or a value no sample could have had.
     pub fn since(&self, earlier: &HistoSnapshot) -> HistoSnapshot {
         let buckets: Vec<u64> = self
             .buckets
@@ -219,11 +226,22 @@ impl HistoSnapshot {
             .map(|(a, b)| a.saturating_sub(*b))
             .collect();
         let count = buckets.iter().sum();
+        let max = if count == 0 {
+            0
+        } else if self.max > earlier.max {
+            self.max
+        } else {
+            buckets
+                .iter()
+                .rposition(|&n| n > 0)
+                .map(|b| bucket_upper(b).min(self.max))
+                .unwrap_or(0)
+        };
         HistoSnapshot {
             buckets: buckets.into_boxed_slice(),
             count,
             sum: self.sum.saturating_sub(earlier.sum),
-            max: self.max,
+            max,
         }
     }
 }
@@ -451,6 +469,55 @@ mod tests {
         assert_eq!(merged.count(), late.count());
         assert_eq!(merged.sum(), late.sum());
         assert_eq!(merged.quantile(0.5), late.quantile(0.5));
+    }
+
+    #[test]
+    fn windowed_max_is_zero_for_an_empty_window() {
+        let h = Histo::new();
+        h.record(5_000_000);
+        let s = h.snapshot();
+        let d = s.since(&s);
+        assert_eq!(d.count(), 0);
+        assert_eq!(d.max(), 0, "empty window must not report a stale max");
+        assert_eq!(d.quantile(0.99), 0);
+    }
+
+    #[test]
+    fn windowed_max_is_exact_when_the_window_sets_a_new_max() {
+        let h = Histo::new();
+        h.record(100);
+        let early = h.snapshot();
+        h.record(777_777);
+        let d = h.snapshot().since(&early);
+        assert_eq!(d.count(), 1);
+        assert_eq!(d.max(), 777_777, "new running max is the window's max");
+    }
+
+    #[test]
+    fn windowed_max_is_bounded_when_the_old_max_still_stands() {
+        // A huge sample before the window, small samples inside it: the
+        // window max must stay inside the small samples' bucket instead
+        // of reporting the pre-window outlier.
+        let h = Histo::new();
+        h.record(1_000_000_000);
+        let early = h.snapshot();
+        h.record(100);
+        h.record(120);
+        let d = h.snapshot().since(&early);
+        assert_eq!(d.count(), 2);
+        assert!(
+            d.max() <= bucket_upper(bucket_of(120)),
+            "window max {} leaked the pre-window outlier",
+            d.max()
+        );
+        assert!(d.max() >= 120, "window max under-reports the window");
+        // Re-recording exactly the old max inside the window clamps to
+        // the true value (the max's own bucket gained a sample).
+        let early2 = h.snapshot();
+        h.record(1_000_000_000);
+        let d2 = h.snapshot().since(&early2);
+        assert_eq!(d2.count(), 1);
+        assert_eq!(d2.max(), 1_000_000_000);
     }
 
     #[test]

@@ -20,6 +20,7 @@ mod contention;
 mod coverage;
 mod flight;
 mod histo;
+mod lineage;
 mod registry;
 mod snapshot;
 mod span;
@@ -38,6 +39,10 @@ pub use flight::{
 };
 pub use histo::{
     bucket_lower, bucket_of, bucket_upper, Histo, HistoSnapshot, N_BUCKETS, SUB_BUCKETS,
+};
+pub use lineage::{
+    current_row as lineage_current_row, note_buffered, note_journaled, note_logical, DrainKind,
+    Layer, LineageScope, LineageSnap, LineageTable, Stamp, ALL_LAYERS, LINEAGE_ROWS, NLAYERS,
 };
 pub use registry::{Counter, MetricSource, MetricsRegistry, RegistrySnapshot, Visitor};
 pub use snapshot::{
@@ -175,6 +180,9 @@ pub struct FsObs {
     /// The per-op flight recorder (tail-latency anatomies), off by
     /// default like everything else.
     flight: FlightRecorder,
+    /// The data-lifecycle provenance ledger (durability lag, per-layer
+    /// write amplification), off by default like everything else.
+    lineage: LineageTable,
 }
 
 impl Default for FsObs {
@@ -195,6 +203,7 @@ impl FsObs {
             audit_checks: AtomicU64::new(0),
             audit_violations: AtomicU64::new(0),
             flight: FlightRecorder::new(),
+            lineage: LineageTable::new(),
         }
     }
 
@@ -202,6 +211,13 @@ impl FsObs {
     #[inline]
     pub fn flight(&self) -> &FlightRecorder {
         &self.flight
+    }
+
+    /// The data-lifecycle provenance ledger bundled with this file
+    /// system.
+    #[inline]
+    pub fn lineage(&self) -> &LineageTable {
+        &self.lineage
     }
 
     /// Folds an auditor pass into this bundle: counts the checks, counts
@@ -305,6 +321,23 @@ impl MetricSource for FsObs {
         out.counter("obsv_audit_violations", self.audit_violations());
         if self.flight.recorded() > 0 {
             out.counter("obsv_flight_records", self.flight.recorded());
+        }
+        let lin = self.lineage.snap();
+        if self.lineage.enabled() || !lin.is_empty() {
+            for layer in ALL_LAYERS {
+                out.counter(
+                    &format!("obsv_lineage_{}_bytes", layer.label()),
+                    lin.layer(layer),
+                );
+            }
+            out.counter("obsv_lineage_fences", lin.fences);
+            out.counter("obsv_lineage_stamps", lin.stamps);
+            out.counter("obsv_lineage_drains_sync", lin.drains_sync);
+            out.counter("obsv_lineage_drains_lazy", lin.drains_lazy);
+            out.gauge("obsv_lineage_max_lag_ns", lin.max_lag_ns);
+            if lin.lag.count() > 0 {
+                out.histo("obsv_lineage_lag_ns", lin.lag);
+            }
         }
         if let Some(spans) = self.spans.get() {
             spans.collect(out);

@@ -170,6 +170,9 @@ pub struct FsSnapshot {
     pub cache: Option<CacheSnap>,
     /// NVMM device traffic and ledger.
     pub device: Option<DeviceSnap>,
+    /// Data-lifecycle provenance ledger (present when lineage tracking
+    /// was enabled on the mount).
+    pub lineage: Option<crate::LineageSnap>,
 }
 
 fn push_u64s(out: &mut String, fields: &[(&str, u64)]) {
@@ -290,6 +293,36 @@ impl FsSnapshot {
             close_obj(&mut out);
             out.push(',');
         }
+        if let Some(l) = &self.lineage {
+            out.push_str("\"lineage\":{\"layers\":{");
+            for (i, layer) in crate::ALL_LAYERS.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\"{}\":{}", layer.label(), l.layer(*layer)));
+            }
+            out.push_str("},");
+            push_u64s(
+                &mut out,
+                &[
+                    ("fences", l.fences),
+                    ("fences_per_kib", l.fences_per_kib()),
+                    ("stamps", l.stamps),
+                    ("drains_sync", l.drains_sync),
+                    ("drains_lazy", l.drains_lazy),
+                    ("max_lag_ns", l.max_lag_ns),
+                ],
+            );
+            out.push_str(&format!(
+                "\"lag\":{{\"count\":{},\"p50_ns\":{},\"p99_ns\":{},\"max_ns\":{}}}",
+                l.lag.count(),
+                l.lag.quantile(0.50),
+                l.lag.quantile(0.99),
+                l.lag.max()
+            ));
+            close_obj(&mut out);
+            out.push(',');
+        }
         close_obj(&mut out);
         out
     }
@@ -308,6 +341,9 @@ impl FsSnapshot {
         }
         if self.device.is_none() {
             self.device = other.device;
+        }
+        if self.lineage.is_none() {
+            self.lineage = other.lineage;
         }
     }
 
@@ -343,6 +379,20 @@ impl FsSnapshot {
             g(out, "cache_cached_pages", c.cached_pages);
             g(out, "cache_dirty_pages", c.dirty_pages);
         }
+        if let Some(l) = &self.lineage {
+            for layer in crate::ALL_LAYERS {
+                g(
+                    out,
+                    &format!("lineage_{}_bytes", layer.label()),
+                    l.layer(layer),
+                );
+            }
+            g(out, "lineage_fences", l.fences);
+            g(out, "lineage_stamps", l.stamps);
+            g(out, "lineage_drains_sync", l.drains_sync);
+            g(out, "lineage_drains_lazy", l.drains_lazy);
+            g(out, "lineage_max_lag_ns", l.max_lag_ns);
+        }
     }
 }
 
@@ -363,6 +413,7 @@ pub const AUDIT_INVARIANTS: &[&str] = &[
     "journal.stats",             // 11: begins - commits - aborts == open txs
     "cache.accounting",          // 12: dirty <= cached <= capacity
     "device.accounting",         // 13: persisted bytes are cacheline-granular
+    "lineage.sync_decay_bound",  // 14: max durability lag <= the mount's sync-decay bound
 ];
 
 /// Label of an invariant code (`"unknown"` for out-of-range codes).
@@ -560,6 +611,7 @@ mod tests {
                 ledger_total_ns: 9,
                 ..DeviceSnap::default()
             }),
+            lineage: None,
         };
         let j = snap.to_json();
         assert_eq!(j, snap.to_json(), "serialization is deterministic");

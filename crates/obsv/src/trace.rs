@@ -76,6 +76,22 @@ pub enum TraceEvent {
         got: u64,
         want: u64,
     },
+    /// A drain made stamped data durable: the causal link from a
+    /// foreground op's ring events to the pass that persisted its data.
+    /// `row` is the origin lineage row (op discriminant, or the
+    /// background row); `seq_lo..=seq_hi` is the origin seq window — the
+    /// ring ticket at the ack stamp through the ticket at the drain —
+    /// so a dump can stitch the op's full life back together. `lazy`
+    /// distinguishes background drains (real lag) from synchronous ones
+    /// (lag asserted 0).
+    LineageDrained {
+        row: u64,
+        lazy: bool,
+        bytes: u64,
+        lag_ns: u64,
+        seq_lo: u64,
+        seq_hi: u64,
+    },
 }
 
 impl TraceEvent {
@@ -119,6 +135,17 @@ impl TraceEvent {
                 got,
                 want,
             } => (10, [code, ino, iblk, got, want, 0, 0]),
+            TraceEvent::LineageDrained {
+                row,
+                lazy,
+                bytes,
+                lag_ns,
+                seq_lo,
+                seq_hi,
+            } => (
+                11 | (u64::from(lazy) << 8),
+                [row, bytes, lag_ns, seq_lo, seq_hi, 0, 0],
+            ),
         }
     }
 
@@ -168,6 +195,14 @@ impl TraceEvent {
                 got: p[3],
                 want: p[4],
             },
+            11 => TraceEvent::LineageDrained {
+                row: p[0],
+                lazy: tag & (1 << 8) != 0,
+                bytes: p[1],
+                lag_ns: p[2],
+                seq_lo: p[3],
+                seq_hi: p[4],
+            },
             _ => return None,
         })
     }
@@ -189,6 +224,7 @@ impl TraceEvent {
             TraceEvent::RecoveryEnd { .. } => "recovery.end",
             TraceEvent::FaultInjected { .. } => "fault.injected",
             TraceEvent::AuditViolation { .. } => "audit.violation",
+            TraceEvent::LineageDrained { .. } => "lineage.drained",
         }
     }
 
@@ -247,6 +283,21 @@ impl TraceEvent {
                 ("got", got),
                 ("want", want),
             ],
+            TraceEvent::LineageDrained {
+                row,
+                lazy,
+                bytes,
+                lag_ns,
+                seq_lo,
+                seq_hi,
+            } => vec![
+                ("row", row),
+                ("lazy", u64::from(lazy)),
+                ("bytes", bytes),
+                ("lag_ns", lag_ns),
+                ("seq_lo", seq_lo),
+                ("seq_hi", seq_hi),
+            ],
         }
     }
 
@@ -299,6 +350,14 @@ impl TraceEvent {
                 iblk: get("iblk")?,
                 got: get("got")?,
                 want: get("want")?,
+            },
+            "lineage.drained" => TraceEvent::LineageDrained {
+                row: get("row")?,
+                lazy: get("lazy")? != 0,
+                bytes: get("bytes")?,
+                lag_ns: get("lag_ns")?,
+                seq_lo: get("seq_lo")?,
+                seq_hi: get("seq_hi")?,
             },
             _ => return None,
         })
@@ -367,6 +426,19 @@ impl std::fmt::Display for TraceEvent {
                 f,
                 "audit.violation invariant={} ino={ino} iblk={iblk} got={got} want={want}",
                 crate::snapshot::invariant_label(code)
+            ),
+            TraceEvent::LineageDrained {
+                row,
+                lazy,
+                bytes,
+                lag_ns,
+                seq_lo,
+                seq_hi,
+            } => write!(
+                f,
+                "lineage.drained origin={} kind={} bytes={bytes} lag_ns={lag_ns} seq=[{seq_lo}, {seq_hi}]",
+                crate::span::row_label((row as usize).min(crate::BG_ROW)),
+                if lazy { "lazy" } else { "sync" }
             ),
         }
     }
@@ -678,6 +750,22 @@ mod tests {
                 iblk: 0,
                 got: 63,
                 want: 64,
+            },
+            TraceEvent::LineageDrained {
+                row: 3,
+                lazy: true,
+                bytes: 4096,
+                lag_ns: 5_000_000_000,
+                seq_lo: 17,
+                seq_hi: 29,
+            },
+            TraceEvent::LineageDrained {
+                row: 4,
+                lazy: false,
+                bytes: 64,
+                lag_ns: 0,
+                seq_lo: 30,
+                seq_hi: 30,
             },
         ]
     }

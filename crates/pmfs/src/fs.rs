@@ -170,6 +170,7 @@ impl Pmfs {
             op,
             || self.env.now(),
             || {
+                let _lin = self.obs.lineage().op_scope(op);
                 if !self.obs.timing_enabled() {
                     return f();
                 }
@@ -368,6 +369,7 @@ impl Pmfs {
         if !of.flags.writable() {
             return Err(FsError::BadFd);
         }
+        obsv::note_logical(data.len() as u64);
         let tx = self.journal.begin()?;
         let res = (|| -> Result<u64> {
             let mut state = of.handle.state.write();
@@ -388,6 +390,8 @@ impl Pmfs {
         match res {
             Ok(off) => {
                 self.journal.commit(tx);
+                // Direct access: the data is durable before the ack.
+                self.obs.lineage().record_inline_drain(data.len() as u64);
                 Ok(off)
             }
             Err(e) => {
@@ -619,6 +623,7 @@ impl FileSystem for Pmfs {
             if of.flags.contains(OpenFlags::APPEND) {
                 return self.append_inner(fd, data).map(|_| data.len());
             }
+            obsv::note_logical(data.len() as u64);
             let tx = self.journal.begin()?;
             let res = (|| -> Result<()> {
                 let mut state = of.handle.state.write();
@@ -637,6 +642,8 @@ impl FileSystem for Pmfs {
             match res {
                 Ok(()) => {
                     self.journal.commit(tx);
+                    // Direct access: the data is durable before the ack.
+                    self.obs.lineage().record_inline_drain(data.len() as u64);
                     Ok(data.len())
                 }
                 Err(e) => {
@@ -657,6 +664,7 @@ impl FileSystem for Pmfs {
             // One journal transaction, one inode lock hold and one logged
             // inode core cover the whole gather list — per-slice the only
             // repeated cost is the data copy itself.
+            obsv::note_logical(iovs.iter().map(|s| s.len() as u64).sum());
             let tx = self.journal.begin()?;
             let res = (|| -> Result<usize> {
                 let mut state = of.handle.state.write();
@@ -678,6 +686,8 @@ impl FileSystem for Pmfs {
             match res {
                 Ok(n) => {
                     self.journal.commit(tx);
+                    // Direct access: the data is durable before the ack.
+                    self.obs.lineage().record_inline_drain(n as u64);
                     Ok(n)
                 }
                 Err(e) => {
@@ -936,6 +946,11 @@ impl obsv::Introspect for Pmfs {
                 open_txs: u.open_txs,
                 generation: u.generation,
             }),
+            lineage: self
+                .obs
+                .lineage()
+                .enabled()
+                .then(|| self.obs.lineage().snap()),
             ..obsv::FsSnapshot::default()
         }
     }

@@ -88,6 +88,9 @@ pub struct ObsvOptions {
     /// `contention` are also on — use the [`ObsvOptions::flight`]
     /// preset.
     pub flight: bool,
+    /// Track data lifecycle: durability-lag histograms, per-layer write
+    /// amplification, and causal `lineage.drained` trace events.
+    pub lineage: bool,
 }
 
 impl ObsvOptions {
@@ -105,6 +108,7 @@ impl ObsvOptions {
             audit: true,
             contention: true,
             flight: true,
+            lineage: true,
         }
     }
 
@@ -120,6 +124,7 @@ impl ObsvOptions {
             audit: false,
             contention: true,
             flight: true,
+            lineage: false,
         }
     }
 
@@ -159,6 +164,13 @@ impl ObsvOptions {
         self.timing = true;
         self
     }
+
+    /// Enables data-lifecycle provenance (durability lag + write
+    /// amplification + drain trace events).
+    pub fn with_lineage(mut self) -> Self {
+        self.lineage = true;
+        self
+    }
 }
 
 /// Sizing and model parameters of a system build.
@@ -180,6 +192,9 @@ pub struct SystemConfig {
     pub inode_count: u64,
     /// Observability switches (all off by default).
     pub obsv: ObsvOptions,
+    /// Build the device with cacheline-granularity persistence tracking
+    /// so crash simulation (`NvmmDevice::crash`) is available.
+    pub tracked: bool,
 }
 
 impl Default for SystemConfig {
@@ -193,6 +208,7 @@ impl Default for SystemConfig {
             journal_blocks: 2048,
             inode_count: 65536,
             obsv: ObsvOptions::none(),
+            tracked: false,
         }
     }
 }
@@ -250,7 +266,11 @@ type Mounted = (
 /// Builds (formats and mounts) a system of the given kind.
 pub fn build(kind: SystemKind, cfg: &SystemConfig) -> Result<System> {
     let env = SimEnv::new(cfg.mode, cfg.cost.clone());
-    let dev = NvmmDevice::new(env.clone(), cfg.device_bytes);
+    let dev = if cfg.tracked {
+        NvmmDevice::new_tracked(env.clone(), cfg.device_bytes)
+    } else {
+        NvmmDevice::new(env.clone(), cfg.device_bytes)
+    };
     let popts = PmfsOptions {
         journal_blocks: cfg.journal_blocks,
         inode_count: cfg.inode_count,
@@ -340,6 +360,7 @@ fn apply_obsv(
         obs.set_timing(cfg.obsv.timing || cfg.obsv.flight);
         obs.set_tracing(cfg.obsv.trace);
         obs.flight().set_enabled(cfg.obsv.flight);
+        obs.lineage().set_enabled(cfg.obsv.lineage);
     }
     dev.spans().set_enabled(cfg.obsv.spans);
     env.contention().set_level(if cfg.obsv.contention {
@@ -776,6 +797,19 @@ mod tests {
                     .unwrap_or(0)
                     > 0,
                 "{}: flight recorder armed but obsv_flight_records missing",
+                kind.label()
+            );
+            // `ObsvOptions::all()` also arms lineage tracking: the write
+            // above is a logical byte source on every system, so the
+            // per-layer ledger must surface its counters through the
+            // same conformance-checked namespace.
+            assert!(
+                snap.counters
+                    .get("obsv_lineage_logical_bytes")
+                    .copied()
+                    .unwrap_or(0)
+                    > 0,
+                "{}: lineage armed but obsv_lineage_logical_bytes missing",
                 kind.label()
             );
         }

@@ -16,6 +16,7 @@
 //! cargo run --example fs_inspect -- --system pmfs     # pmfs | ext4-dax | ext2 | ext4 | hinfs
 //! cargo run --example fs_inspect -- --contention      # + top lock/stall sites by wait time
 //! cargo run --example fs_inspect -- --tail            # + p99 tail anatomy and exemplars
+//! cargo run --example fs_inspect -- --lag             # + durability lag and per-layer WAF
 //! ```
 //!
 //! Exit status is non-zero when `--audit` finds a violation or when the
@@ -123,6 +124,43 @@ fn agreement_failures(
             reg.counter("nvmm_bytes_written"),
         );
     }
+    // The lineage ledger is exported under the shared `obsv_` family (it
+    // spans systems), so the snapshot section must agree with those
+    // counters regardless of the mount's own prefix.
+    if let Some(l) = &snap.lineage {
+        for layer in obsv::ALL_LAYERS {
+            check(
+                format!("obsv_lineage_{}_bytes", layer.label()),
+                l.layer(layer),
+                reg.counter(&format!("obsv_lineage_{}_bytes", layer.label())),
+            );
+        }
+        check(
+            "obsv_lineage_fences".into(),
+            l.fences,
+            reg.counter("obsv_lineage_fences"),
+        );
+        check(
+            "obsv_lineage_stamps".into(),
+            l.stamps,
+            reg.counter("obsv_lineage_stamps"),
+        );
+        check(
+            "obsv_lineage_drains_sync".into(),
+            l.drains_sync,
+            reg.counter("obsv_lineage_drains_sync"),
+        );
+        check(
+            "obsv_lineage_drains_lazy".into(),
+            l.drains_lazy,
+            reg.counter("obsv_lineage_drains_lazy"),
+        );
+        check(
+            "obsv_lineage_max_lag_ns".into(),
+            l.max_lag_ns,
+            reg.gauge("obsv_lineage_max_lag_ns"),
+        );
+    }
     fails
 }
 
@@ -143,6 +181,7 @@ fn main() {
     let audit = args.iter().any(|a| a == "--audit");
     let contention = args.iter().any(|a| a == "--contention");
     let tail = args.iter().any(|a| a == "--tail");
+    let lag = args.iter().any(|a| a == "--lag");
     let kind = args
         .iter()
         .position(|a| a == "--system")
@@ -157,6 +196,7 @@ fn main() {
     };
     obsv.audit = audit;
     obsv.contention = contention || tail;
+    obsv.lineage = obsv.lineage || lag;
     let cfg = SystemConfig {
         obsv,
         ..SystemConfig::small()
@@ -264,6 +304,40 @@ fn main() {
                     r.stall_events,
                     r.seq_start,
                     r.seq_end
+                );
+            }
+        }
+    }
+
+    if lag {
+        if let Some(obs) = &sys.obs {
+            // Durability-lag cohort: how far behind the ack each byte's
+            // persistence ran, and which layer multiplied the traffic.
+            let l = obs.lineage().snap();
+            eprintln!(
+                "lag: {} stamps, drains sync={} lazy={}, max_lag={}ns (p50={}ns p99={}ns over {} drains)",
+                l.stamps,
+                l.drains_sync,
+                l.drains_lazy,
+                l.max_lag_ns,
+                l.lag.quantile(0.50),
+                l.lag.quantile(0.99),
+                l.lag.count()
+            );
+            for layer in obsv::ALL_LAYERS {
+                eprintln!(
+                    "lag:   layer {:<18} {:>12} bytes ({:.2}x logical)",
+                    layer.label(),
+                    l.layer(layer),
+                    l.amplification(layer)
+                );
+            }
+            eprintln!("lag:   fences per logical KiB: {}", l.fences_per_kib());
+            for (row, bytes) in l.top_amplifiers(4) {
+                eprintln!(
+                    "lag:   top persister {:<10} {:>12} persisted+drained bytes",
+                    obsv::row_label(row),
+                    bytes
                 );
             }
         }

@@ -286,6 +286,51 @@ fn main() {
     );
     println!();
 
+    // Data-lifecycle provenance: where each logical byte multiplied on
+    // its way to NVMM, and how far behind the ack durability ran
+    // (`ObsvOptions::all()` arms the lineage tracker).
+    let lin = obs.lineage().snap();
+    println!("--- data lifecycle (lineage) ---");
+    for layer in obsv::ALL_LAYERS {
+        println!(
+            "  {:<18} {:>12} bytes  ({:.2}x logical)",
+            layer.label(),
+            lin.layer(layer),
+            lin.amplification(layer)
+        );
+    }
+    println!(
+        "  {} fences ({} per logical KiB); {} stamps, drains sync={} lazy={}",
+        lin.fences,
+        lin.fences_per_kib(),
+        lin.stamps,
+        lin.drains_sync,
+        lin.drains_lazy
+    );
+    println!(
+        "  durability lag: p50={}ns p99={}ns max={}ns over {} drains",
+        lin.lag.quantile(0.50),
+        lin.lag.quantile(0.99),
+        lin.max_lag_ns,
+        lin.lag.count()
+    );
+    for (row, bytes) in lin.top_amplifiers(4) {
+        // Background-row lag folds into the write histogram, mirroring
+        // `LineageTable::record_drain`.
+        let lag_row = if row < obsv::ALL_OPS.len() {
+            row
+        } else {
+            OpKind::Write as usize
+        };
+        println!(
+            "  top persister {:<10} {:>12} persisted+drained bytes, lag p99 {}ns",
+            row_label(row),
+            bytes,
+            lin.lag_by_op[lag_row].quantile(0.99)
+        );
+    }
+    println!();
+
     if contention {
         print_contention(&sys.env.contention().snapshot());
     }
@@ -312,6 +357,7 @@ fn main() {
             "bbm.flip",
             "journal.commit",
             "writeback.periodic",
+            "lineage.drained",
             "recovery.begin",
             "recovery.end",
             "fault.injected",

@@ -41,33 +41,42 @@ run scripts/fuzz_soak.sh $OFFLINE
 
 # State introspection gate: run the quick-scale fileserver workload with
 # the online invariant auditor on; exits non-zero on any audit violation
-# or any snapshot-vs-registry disagreement.
-run cargo run --release $OFFLINE --example fs_inspect -- --audit
+# or any snapshot-vs-registry disagreement. --lag also arms the lineage
+# ledger so the agreement pass covers the obsv_lineage_* gauges and the
+# durability-lag report renders.
+run cargo run --release $OFFLINE --example fs_inspect -- --audit --lag
 
 # Machine-readable perf pipeline: regenerate the BENCH document at the
 # quick deterministic scale and gate it against the committed baseline.
 # The virtual clock makes the run reproducible, so any drift here is a
 # real behavior change, not noise.
 bench_tmp=$(mktemp -t BENCH_check.XXXXXX.json)
-trap 'rm -f "$bench_tmp" "$bench_tmp.bad" "$bench_tmp.blame"' EXIT
+trap 'rm -f "$bench_tmp" "$bench_tmp.bad" "$bench_tmp.blame" "$bench_tmp.waf"' EXIT
 run cargo run --release $OFFLINE -p hinfs-bench --bin experiments -- \
     --quick --fig 101 --fig 112 --bench-json "$bench_tmp"
-run scripts/bench_check.sh BENCH_pr9.json "$bench_tmp"
+run scripts/bench_check.sh BENCH_pr10.json "$bench_tmp"
 # The gate must also FAIL when a regression is injected — otherwise it
 # gates nothing.
 sed 's/\("headline::fileserver::hinfs::ops_per_s": \)\([0-9]*\)/\10/' \
     "$bench_tmp" >"$bench_tmp.bad"
-if scripts/bench_check.sh BENCH_pr9.json "$bench_tmp.bad" >/dev/null 2>&1; then
+if scripts/bench_check.sh BENCH_pr10.json "$bench_tmp.bad" >/dev/null 2>&1; then
     echo "verify: bench_check failed to flag an injected regression" >&2
     exit 1
 fi
 echo "verify: bench_check catches injected regressions"
 
 # Regression ATTRIBUTION: bench_diff must run clean across the schema
-# boundary (v2 baseline vs v3 candidate) and against the committed v3
-# baseline.
+# boundaries (v2 baseline vs v3 candidate, v3 vs v4) and against the
+# committed v4 baseline. The v3→v4 pair must DEGRADE the waf::/lag::
+# families to explicit notes rather than fail or stay silent.
 run scripts/bench_diff.sh $OFFLINE BENCH_pr7.json BENCH_pr9.json
-run scripts/bench_diff.sh $OFFLINE BENCH_pr9.json "$bench_tmp"
+if ! scripts/bench_diff.sh $OFFLINE BENCH_pr9.json BENCH_pr10.json |
+    grep -q 'waf:: keys missing on one side'; then
+    echo "verify: bench_diff did not note the v3 side's missing waf:: family" >&2
+    exit 1
+fi
+echo "verify: bench_diff degrades v3 baselines to waf/lag notes"
+run scripts/bench_diff.sh $OFFLINE BENCH_pr10.json "$bench_tmp"
 # And its blame table must NAME a planted regression: multiply the
 # journal span-phase time by 10 and require the span blame to rank
 # `journal` first for that cell.
@@ -81,6 +90,29 @@ awk '{
 if ! scripts/bench_diff.sh $OFFLINE "$bench_tmp" "$bench_tmp.blame" |
     grep -q '^blame::fileserver::hinfs::span 1 journal +'; then
     echo "verify: bench_diff failed to blame the planted journal-phase regression" >&2
+    exit 1
+fi
+# Same drill for the v4 lineage families: a 10x NVMM-persisted byte count
+# must rank `nvmm_persisted` first in the waf blame, and a large max-lag
+# bump must rank `max` first in the lag blame, each for exactly that cell.
+awk '{
+    if ($0 ~ /"waf::fileserver::hinfs::nvmm_persisted::bytes": /) {
+        match($0, /[0-9]+/); v = substr($0, RSTART, RLENGTH)
+        sub(/[0-9]+/, sprintf("%d", v * 10))
+    }
+    if ($0 ~ /"lag::fileserver::hinfs::max_ns": /) {
+        match($0, /[0-9]+/); v = substr($0, RSTART, RLENGTH)
+        sub(/[0-9]+/, sprintf("%d", v + 5000000))
+    }
+    print
+}' "$bench_tmp" >"$bench_tmp.waf"
+waf_diff=$(scripts/bench_diff.sh $OFFLINE "$bench_tmp" "$bench_tmp.waf")
+if ! grep -q '^blame::fileserver::hinfs::waf 1 nvmm_persisted +' <<<"$waf_diff"; then
+    echo "verify: bench_diff failed to blame the planted write-amplification regression" >&2
+    exit 1
+fi
+if ! grep -q '^blame::fileserver::hinfs::lag 1 max +' <<<"$waf_diff"; then
+    echo "verify: bench_diff failed to blame the planted durability-lag regression" >&2
     exit 1
 fi
 echo "verify: bench_diff blames planted regressions correctly"

@@ -163,6 +163,24 @@ fn flight_recorder_does_not_change_results() {
     }
 }
 
+/// The lineage ledger (ack stamps, drain accounting, lag histograms)
+/// only reads the virtual clock and the trace sequence — stamping and
+/// draining never charge time. Arming it on top of the flight preset
+/// must leave every figure-relevant number bit-identical.
+#[test]
+fn lineage_tracking_does_not_change_results() {
+    for kind in [
+        SystemKind::Pmfs,
+        SystemKind::Hinfs,
+        SystemKind::Ext4Bd,
+        SystemKind::Ext4Dax,
+    ] {
+        let plain = one_run_cfg(kind, 42, ObsvOptions::none());
+        let traced = one_run_cfg(kind, 42, ObsvOptions::flight().with_lineage());
+        assert_identical(&plain, &traced, kind.label());
+    }
+}
+
 #[test]
 fn different_seeds_differ() {
     let a = one_run(SystemKind::Hinfs, 1);
